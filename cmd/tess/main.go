@@ -1,0 +1,62 @@
+// Command tess runs the TESS-style screen-scraping wrapper standalone: it
+// reads an HTML page and an XML wrapper configuration and prints the
+// extracted XML document. With -config-for it prints a built-in testbed
+// source's wrapper configuration instead, as a starting point.
+//
+// Usage:
+//
+//	tess -config wrapper.xml page.html
+//	tess -config-for umd
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"thalia"
+	"thalia/internal/tess"
+)
+
+func main() {
+	configPath := flag.String("config", "", "wrapper configuration file (XML)")
+	configFor := flag.String("config-for", "", "print the built-in wrapper configuration for a testbed source")
+	flag.Parse()
+
+	if err := run(*configPath, *configFor, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "tess:", err)
+		os.Exit(1)
+	}
+}
+
+func run(configPath, configFor string, args []string) error {
+	if configFor != "" {
+		src, err := thalia.LookupSource(configFor)
+		if err != nil {
+			return err
+		}
+		fmt.Print(tess.MarshalConfig(src.Wrapper()))
+		return nil
+	}
+	if configPath == "" || len(args) != 1 {
+		return fmt.Errorf("usage: tess -config wrapper.xml page.html (or tess -config-for <source>)")
+	}
+	cfgText, err := os.ReadFile(configPath)
+	if err != nil {
+		return err
+	}
+	cfg, err := tess.ParseConfig(string(cfgText))
+	if err != nil {
+		return err
+	}
+	page, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	out, err := tess.ExtractString(cfg, string(page))
+	if err != nil {
+		return err
+	}
+	fmt.Print(out)
+	return nil
+}

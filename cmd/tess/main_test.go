@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestConfigFor(t *testing.T) {
+	if err := run("", "umd", nil); err != nil {
+		t.Errorf("config-for umd: %v", err)
+	}
+	if err := run("", "ghost", nil); err == nil {
+		t.Error("config-for ghost should error")
+	}
+}
+
+func TestExtractFiles(t *testing.T) {
+	dir := t.TempDir()
+	cfgPath := filepath.Join(dir, "wrapper.xml")
+	pagePath := filepath.Join(dir, "page.html")
+	if err := os.WriteFile(cfgPath, []byte(`<tess source="s">
+  <rule name="Item" begin="\[" end="\]" repeat="true"/>
+</tess>`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(pagePath, []byte(`[one] [two]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(cfgPath, "", []string{pagePath}); err != nil {
+		t.Errorf("extract: %v", err)
+	}
+}
+
+func TestUsageAndErrors(t *testing.T) {
+	if err := run("", "", nil); err == nil {
+		t.Error("no args should error")
+	}
+	if err := run("/nonexistent.xml", "", []string{"also-nonexistent.html"}); err == nil {
+		t.Error("missing config should error")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.xml")
+	if err := os.WriteFile(bad, []byte(`not xml`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(bad, "", []string{bad}); err == nil {
+		t.Error("bad config should error")
+	}
+	good := filepath.Join(dir, "good.xml")
+	if err := os.WriteFile(good, []byte(`<tess source="s"><rule name="A" begin="x" end="y"/></tess>`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(good, "", []string{filepath.Join(dir, "missing.html")}); err == nil {
+		t.Error("missing page should error")
+	}
+}

@@ -1,0 +1,33 @@
+// Command thalia-server serves the THALIA web site (Figure 4 of the
+// paper): browse the University course catalogs in their original
+// representation, view the extracted XML documents and corresponding
+// schemas, download the benchmark bundles, upload scores, and view the
+// Honor Roll.
+//
+// Usage:
+//
+//	thalia-server [-addr :8080]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"thalia"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           thalia.NewSiteHandler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	fmt.Printf("THALIA web site listening on %s\n", *addr)
+	log.Fatal(srv.ListenAndServe())
+}

@@ -1,0 +1,334 @@
+// Command thalia is the THALIA workbench CLI: it lists the testbed's
+// course-catalog sources, shows their original HTML snapshots, extracted
+// XML and inferred schemas, prints the twelve benchmark queries and their
+// sample solutions, runs ad-hoc XQuery against the testbed, and evaluates
+// the built-in integration systems on the benchmark.
+//
+// Usage:
+//
+//	thalia sources                     list the testbed sources
+//	thalia show <source> [--html]      extracted XML (or original HTML)
+//	thalia schema <source>             inferred XML Schema
+//	thalia queries                     the twelve benchmark queries
+//	thalia solution <n>                sample solution for query n
+//	thalia xq '<query>'                run an XQuery against the testbed
+//	thalia bench [--system name]...    evaluate systems (default: all)
+//	thalia hetero                      the heterogeneity classification
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"thalia"
+	"thalia/internal/tess"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "thalia:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return usage()
+	}
+	switch args[0] {
+	case "sources":
+		return sources()
+	case "show":
+		return show(args[1:])
+	case "schema":
+		return schema(args[1:])
+	case "queries":
+		return queries()
+	case "solution":
+		return solution(args[1:])
+	case "xq":
+		return xq(args[1:])
+	case "bench":
+		return bench(args[1:])
+	case "export":
+		return export(args[1:])
+	case "validate":
+		return validate()
+	case "detect":
+		return detect(args[1:])
+	case "hetero":
+		return heteroCmd()
+	case "help", "-h", "--help":
+		return usage()
+	default:
+		return fmt.Errorf("unknown command %q (try 'thalia help')", args[0])
+	}
+}
+
+func usage() error {
+	fmt.Println(`THALIA — Test Harness for the Assessment of Legacy information Integration Approaches
+
+Commands:
+  sources                   list the testbed's course-catalog sources
+  show <source> [--html]    print a source's extracted XML (or original HTML)
+  schema <source>           print a source's inferred XML Schema
+  queries                   print the twelve benchmark queries
+  solution <n>              print the sample solution for query n
+  xq '<query>'              run an XQuery (subset) against the testbed
+  bench [--system name]...  evaluate integration systems
+                            (cohera|iwiz|mediator|declarative)
+  export <dir>              write the whole testbed to disk (HTML, XML,
+                            XSD, wrapper configs, queries, solutions)
+  validate                  re-extract and validate every source
+  detect <ref> <challenge>  detect which heterogeneities a source pair
+                            exhibits (the Section 3 classification, automated)
+  hetero                    print the heterogeneity classification`)
+	return nil
+}
+
+func sources() error {
+	fmt.Printf("%-11s %-48s %-12s %s\n", "NAME", "UNIVERSITY", "COUNTRY", "COURSES")
+	for _, s := range thalia.Sources() {
+		fmt.Printf("%-11s %-48s %-12s %d\n", s.Name, s.University, s.Country, len(s.Courses))
+	}
+	return nil
+}
+
+func show(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("show: need a source name")
+	}
+	src, err := thalia.LookupSource(args[0])
+	if err != nil {
+		return err
+	}
+	if len(args) > 1 && args[1] == "--html" {
+		fmt.Print(src.Page())
+		return nil
+	}
+	xml, err := src.XML()
+	if err != nil {
+		return err
+	}
+	fmt.Print(xml)
+	return nil
+}
+
+func schema(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("schema: need a source name")
+	}
+	src, err := thalia.LookupSource(args[0])
+	if err != nil {
+		return err
+	}
+	sch, err := src.Schema()
+	if err != nil {
+		return err
+	}
+	fmt.Print(sch.Encode())
+	return nil
+}
+
+func queries() error {
+	for _, q := range thalia.Queries() {
+		fmt.Printf("Query %d — %s [%v]\n", q.ID, q.Name, q.Case)
+		fmt.Printf("  reference: %s   challenge: %s\n", q.Reference, q.ChallengeSource)
+		for _, line := range strings.Split(q.XQuery, "\n") {
+			fmt.Printf("  | %s\n", line)
+		}
+		fmt.Printf("  challenge: %s\n\n", q.Challenge)
+	}
+	return nil
+}
+
+func solution(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("solution: need a query number 1-12")
+	}
+	id, err := strconv.Atoi(args[0])
+	if err != nil {
+		return fmt.Errorf("solution: bad query number %q", args[0])
+	}
+	q, err := thalia.QueryByID(id)
+	if err != nil {
+		return err
+	}
+	rows, err := q.Expected()
+	if err != nil {
+		return err
+	}
+	fmt.Print(thalia.ResultXML(q.ID, rows).Encode())
+	return nil
+}
+
+func xq(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("xq: need a query string")
+	}
+	seq, err := thalia.EvalXQuery(strings.Join(args, " "))
+	if err != nil {
+		return err
+	}
+	for _, item := range seq {
+		fmt.Println(thalia.ItemString(item))
+	}
+	return nil
+}
+
+func bench(args []string) error {
+	known := map[string]func() thalia.System{
+		"cohera":      thalia.NewCohera,
+		"iwiz":        thalia.NewIWIZ,
+		"mediator":    thalia.NewReferenceMediator,
+		"declarative": thalia.NewDeclarativeMediator,
+	}
+	var systems []thalia.System
+	for i := 0; i < len(args); i++ {
+		if args[i] != "--system" {
+			return fmt.Errorf("bench: unknown flag %q", args[i])
+		}
+		i++
+		if i >= len(args) {
+			return fmt.Errorf("bench: --system needs a value")
+		}
+		mk, ok := known[args[i]]
+		if !ok {
+			return fmt.Errorf("bench: unknown system %q (cohera|iwiz|mediator|declarative)", args[i])
+		}
+		systems = append(systems, mk())
+	}
+	if len(systems) == 0 {
+		systems = []thalia.System{
+			thalia.NewCohera(), thalia.NewIWIZ(),
+			thalia.NewReferenceMediator(), thalia.NewDeclarativeMediator(),
+		}
+	}
+	cards, err := thalia.EvaluateAll(systems...)
+	if err != nil {
+		return err
+	}
+	fmt.Println(thalia.Comparison(cards))
+	for _, card := range cards {
+		fmt.Println(card.Format())
+	}
+	return nil
+}
+
+// export materializes the downloadable testbed: per-source original HTML,
+// extracted XML, inferred schema and wrapper configuration, plus the twelve
+// query files and sample solutions — the contents of the web site's "Run
+// Benchmark" bundles, laid out on disk.
+func export(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("export: need a target directory")
+	}
+	dir := args[0]
+	write := func(rel, content string) error {
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			return err
+		}
+		return os.WriteFile(path, []byte(content), 0o644)
+	}
+	for _, s := range thalia.Sources() {
+		xml, err := s.XML()
+		if err != nil {
+			return err
+		}
+		sch, err := s.Schema()
+		if err != nil {
+			return err
+		}
+		for rel, content := range map[string]string{
+			"sources/" + s.Name + "/original.html":      s.Page(),
+			"sources/" + s.Name + "/" + s.Name + ".xml": xml,
+			"sources/" + s.Name + "/" + s.Name + ".xsd": sch.Encode(),
+			"sources/" + s.Name + "/wrapper.xml":        tess.MarshalConfig(s.Wrapper()),
+		} {
+			if err := write(rel, content); err != nil {
+				return err
+			}
+		}
+	}
+	for _, q := range thalia.Queries() {
+		body := fmt.Sprintf("(: Query %d — %s :)\n\n%s\n", q.ID, q.Name, q.XQuery)
+		if err := write(fmt.Sprintf("queries/query%02d.xq", q.ID), body); err != nil {
+			return err
+		}
+		rows, err := q.Expected()
+		if err != nil {
+			return err
+		}
+		if err := write(fmt.Sprintf("solutions/query%02d.xml", q.ID),
+			thalia.ResultXML(q.ID, rows).Encode()); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("exported %d sources, 12 queries and 12 solutions to %s\n", len(thalia.Sources()), dir)
+	return nil
+}
+
+// validate re-runs the full pipeline for every source and checks the
+// extraction against its inferred schema.
+func validate() error {
+	failed := 0
+	for _, s := range thalia.Sources() {
+		doc, err := s.Document()
+		if err != nil {
+			fmt.Printf("%-11s EXTRACT FAILED: %v\n", s.Name, err)
+			failed++
+			continue
+		}
+		sch, err := s.Schema()
+		if err != nil {
+			fmt.Printf("%-11s SCHEMA FAILED: %v\n", s.Name, err)
+			failed++
+			continue
+		}
+		if errs := sch.Validate(doc); len(errs) != 0 {
+			fmt.Printf("%-11s INVALID: %v\n", s.Name, errs[0])
+			failed++
+			continue
+		}
+		fmt.Printf("%-11s ok (%d courses)\n", s.Name, len(doc.Root.ChildElements()))
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d source(s) failed validation", failed)
+	}
+	return nil
+}
+
+// detect runs the heterogeneity detector over a source pair.
+func detect(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("detect: need two source names")
+	}
+	dets, err := thalia.DetectHeterogeneities(args[0], args[1])
+	if err != nil {
+		return err
+	}
+	if len(dets) == 0 {
+		fmt.Println("no heterogeneities detected")
+		return nil
+	}
+	for _, d := range dets {
+		fmt.Printf("%-45v %s\n", d.Case, d.Evidence)
+	}
+	return nil
+}
+
+func heteroCmd() error {
+	for _, c := range thalia.Heterogeneities() {
+		info, err := thalia.DescribeHeterogeneity(c)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%2d. %-42s [%s]\n    %s\n    e.g. %s\n",
+			int(info.Case), info.Name, info.Group, info.Description, info.Example)
+	}
+	return nil
+}

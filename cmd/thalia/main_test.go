@@ -1,0 +1,119 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"thalia/internal/tess"
+)
+
+func TestRunCommands(t *testing.T) {
+	// Happy paths: each command must succeed end to end.
+	ok := [][]string{
+		{"sources"},
+		{"show", "brown"},
+		{"show", "brown", "--html"},
+		{"schema", "eth"},
+		{"queries"},
+		{"solution", "8"},
+		{"xq", `FOR $b in doc("umass.xml")/umass/Course WHERE $b/Number = "CS430" RETURN $b/Time`},
+		{"hetero"},
+		{"help"},
+		{"bench", "--system", "iwiz"},
+	}
+	for _, args := range ok {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	bad := [][]string{
+		{"frobnicate"},
+		{"show"},
+		{"show", "ghost"},
+		{"schema"},
+		{"schema", "ghost"},
+		{"solution"},
+		{"solution", "x"},
+		{"solution", "13"},
+		{"xq"},
+		{"xq", "FOR $b in"},
+		{"bench", "--oops"},
+		{"bench", "--system"},
+		{"bench", "--system", "ghost"},
+	}
+	for _, args := range bad {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v): expected error", args)
+		}
+	}
+}
+
+func TestRunNoArgsShowsUsage(t *testing.T) {
+	if err := run(nil); err != nil {
+		t.Errorf("usage: %v", err)
+	}
+	if err := run([]string{"--help"}); err != nil {
+		t.Errorf("--help: %v", err)
+	}
+}
+
+func TestExportAndValidate(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"export", dir}); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	for _, rel := range []string{
+		"sources/brown/original.html",
+		"sources/brown/brown.xml",
+		"sources/brown/brown.xsd",
+		"sources/brown/wrapper.xml",
+		"sources/eth/eth.xml",
+		"queries/query01.xq",
+		"queries/query12.xq",
+		"solutions/query08.xml",
+	} {
+		if _, err := os.Stat(filepath.Join(dir, rel)); err != nil {
+			t.Errorf("missing %s: %v", rel, err)
+		}
+	}
+	// An exported wrapper config must reparse and re-extract the exported
+	// original page.
+	cfgText, err := os.ReadFile(filepath.Join(dir, "sources/umd/wrapper.xml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := tess.ParseConfig(string(cfgText))
+	if err != nil {
+		t.Fatalf("exported config unparseable: %v", err)
+	}
+	page, err := os.ReadFile(filepath.Join(dir, "sources/umd/original.html"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tess.Extract(cfg, string(page)); err != nil {
+		t.Errorf("exported config fails on exported page: %v", err)
+	}
+
+	if err := run([]string{"validate"}); err != nil {
+		t.Errorf("validate: %v", err)
+	}
+	if err := run([]string{"export"}); err == nil {
+		t.Error("export without directory should error")
+	}
+}
+
+func TestDetectCommand(t *testing.T) {
+	if err := run([]string{"detect", "cmu", "eth"}); err != nil {
+		t.Errorf("detect: %v", err)
+	}
+	if err := run([]string{"detect", "cmu"}); err == nil {
+		t.Error("detect with one arg should error")
+	}
+	if err := run([]string{"detect", "cmu", "ghost"}); err == nil {
+		t.Error("detect unknown source should error")
+	}
+}

@@ -1,0 +1,76 @@
+// Command xq runs the XQuery-subset processor standalone. Queries may
+// reference XML files on disk through doc("path.xml"); with -testbed,
+// doc() URIs resolve against the built-in THALIA testbed instead
+// (doc("cmu.xml") is CMU's extracted catalog).
+//
+// Usage:
+//
+//	xq 'FOR $b in doc("data.xml")/root/item RETURN $b'
+//	xq -testbed 'FOR $b in doc("cmu.xml")/cmu/Course RETURN $b/Lecturer'
+//	xq -f query.xq
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"thalia"
+	"thalia/internal/xmldom"
+	"thalia/internal/xquery"
+)
+
+func main() {
+	file := flag.String("f", "", "read the query from a file")
+	testbed := flag.Bool("testbed", false, "resolve doc() URIs against the built-in testbed")
+	xmlOut := flag.Bool("xml", false, "print element results as XML instead of text values")
+	flag.Parse()
+
+	if err := run(*file, *testbed, *xmlOut, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "xq:", err)
+		os.Exit(1)
+	}
+}
+
+func run(file string, testbed, xmlOut bool, args []string) error {
+	var query string
+	switch {
+	case file != "":
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return err
+		}
+		query = string(data)
+	case len(args) > 0:
+		query = strings.Join(args, " ")
+	default:
+		return fmt.Errorf("usage: xq [-testbed] [-xml] '<query>' (or -f query.xq)")
+	}
+
+	var ctx *xquery.Context
+	if testbed {
+		ctx = thalia.QueryContext()
+	} else {
+		ctx = xquery.NewContext(func(uri string) (*xmldom.Document, error) {
+			f, err := os.Open(uri)
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+			return xmldom.Parse(f)
+		})
+	}
+	seq, err := xquery.EvalQuery(query, ctx)
+	if err != nil {
+		return err
+	}
+	for _, item := range seq {
+		if el, ok := item.(*xmldom.Element); ok && xmlOut {
+			fmt.Println(el.String())
+			continue
+		}
+		fmt.Println(xquery.ItemString(item))
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package thalia_test
+
+import (
+	"fmt"
+	"log"
+
+	"thalia"
+)
+
+// ExampleEvalXQuery runs the paper's first benchmark query (the synonym
+// case) against the testbed, reference side only.
+func ExampleEvalXQuery() {
+	seq, err := thalia.EvalXQuery(`FOR $b in doc("gatech.xml")/gatech/Course
+		WHERE $b/Instructor = "Mark"
+		RETURN $b/Title`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, item := range seq {
+		fmt.Println(thalia.ItemString(item))
+	}
+	// Output:
+	// Intro-Network Management
+}
+
+// ExampleEvaluate scores the IWIZ model on the full benchmark.
+func ExampleEvaluate() {
+	card, err := thalia.Evaluate(thalia.NewIWIZ())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d/12 correct, complexity %d\n",
+		card.System, card.CorrectCount(), card.ComplexityScore())
+	// Output:
+	// IWIZ: 9/12 correct, complexity 14
+}
+
+// ExampleEvaluateAll reproduces the paper's ranking: the tie between the
+// two legacy systems breaks on the complexity score.
+func ExampleEvaluateAll() {
+	cards, err := thalia.EvaluateAll(thalia.NewIWIZ(), thalia.NewCohera())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, c := range cards {
+		fmt.Printf("%d. %s (%d/12, complexity %d)\n",
+			i+1, c.System, c.CorrectCount(), c.ComplexityScore())
+	}
+	// Output:
+	// 1. Cohera (9/12, complexity 9)
+	// 2. IWIZ (9/12, complexity 14)
+}
+
+// ExampleQueryByID shows a benchmark query's metadata and one expected row.
+func ExampleQueryByID() {
+	q, err := thalia.QueryByID(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(q.Case)
+	fmt.Println(q.Reference, "vs", q.ChallengeSource)
+	rows, err := q.Expected()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range rows {
+		if r["course"] == "251-0317" {
+			fmt.Printf("%s: %s (%s units)\n", r["source"], r["title"], r["units"])
+		}
+	}
+	// Output:
+	// case 4 (Complex Mappings)
+	// cmu vs eth
+	// eth: XML und Datenbanken (12 units)
+}
+
+// ExampleLookupSource walks one source's three testbed artifacts.
+func ExampleLookupSource() {
+	src, err := thalia.LookupSource("eth")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(src.University)
+	doc, err := src.Document()
+	if err != nil {
+		log.Fatal(err)
+	}
+	first := doc.Root.ChildElements()[0]
+	fmt.Println(first.ChildText("Titel"), "/", first.ChildText("Umfang"))
+	// Output:
+	// Swiss Federal Institute of Technology Zürich (ETH)
+	// XML und Datenbanken / 2V1U
+}

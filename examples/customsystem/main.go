@@ -1,0 +1,83 @@
+// Customsystem shows how to evaluate your own integration system on the
+// THALIA benchmark: implement thalia.System, answer the queries you can,
+// decline the rest with thalia.ErrUnsupported, and let the harness score
+// you. The toy system here resolves only the synonym heterogeneity
+// (query 1) by hard-wiring the Instructor/Lecturer correspondence — and
+// the scorecard shows exactly what that buys.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"thalia"
+)
+
+// synonymOnly is a minimal integration system: it knows one rename mapping
+// (gatech's Instructor ≡ cmu's Lecturer) and nothing else.
+type synonymOnly struct{}
+
+func (synonymOnly) Name() string { return "SynonymsOnly" }
+
+func (synonymOnly) Description() string {
+	return "toy system resolving only the Instructor/Lecturer synonym"
+}
+
+func (synonymOnly) Answer(req thalia.Request) (*thalia.Answer, error) {
+	if req.QueryID != 1 {
+		return nil, thalia.ErrUnsupported
+	}
+	rows := []thalia.Row{}
+
+	// Reference side: the query runs as written.
+	seq, err := thalia.EvalXQuery(`FOR $b in doc("gatech.xml")/gatech/Course
+		WHERE $b/Instructor = "Mark"
+		RETURN $b/CourseNum`)
+	if err != nil {
+		return nil, err
+	}
+	for _, item := range seq {
+		rows = append(rows, thalia.Row{
+			"source": "gatech", "course": thalia.ItemString(item), "instructor": "Mark",
+		})
+	}
+
+	// Challenge side: rewrite Instructor → Lecturer. CMU's Lecturer is
+	// set-valued ("Song/Wing"), so match per component.
+	seq, err = thalia.EvalXQuery(`FOR $b in doc("cmu.xml")/cmu/Course
+		RETURN $b/CourseNumber $b/Lecturer`)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i+1 < len(seq); i += 2 {
+		num := thalia.ItemString(seq[i])
+		for _, name := range strings.Split(thalia.ItemString(seq[i+1]), "/") {
+			if strings.TrimSpace(name) == "Mark" {
+				rows = append(rows, thalia.Row{
+					"source": "cmu", "course": num, "instructor": "Mark",
+				})
+			}
+		}
+	}
+	return &thalia.Answer{Rows: rows, Effort: thalia.EffortNone}, nil
+}
+
+func main() {
+	card, err := thalia.Evaluate(synonymOnly{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(card.Format())
+
+	// Compare against the built-in systems on the Honor Roll.
+	others, err := thalia.EvaluateAll(thalia.NewCohera(), thalia.NewIWIZ())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("How it stacks up:")
+	for _, c := range append(others, card) {
+		fmt.Printf("  %-14s %2d/12 correct, complexity %d\n",
+			c.System, c.CorrectCount(), c.ComplexityScore())
+	}
+}

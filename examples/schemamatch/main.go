@@ -1,0 +1,48 @@
+// Schemamatch runs the automatic schema-matching extension over the THALIA
+// testbed: it matches each paper-named source's element vocabulary against
+// the global concepts and reports which heterogeneities automatic matching
+// resolves (synonyms, German terms, even name-free term columns via
+// instance evidence) — and, by its residual, which still demand the
+// programmatic integration work the benchmark scores.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"thalia"
+)
+
+func main() {
+	report, err := thalia.RunSchemaMatchExperiment()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(report.Format())
+
+	// Individual matches, to see the evidence at work.
+	m := thalia.NewSchemaMatcher()
+	fmt.Println("Selected correspondences:")
+	for _, probe := range []struct {
+		name   string
+		values []string
+	}{
+		{"Lecturer", nil}, // case 1: dictionary
+		{"Dozent", nil},   // case 5: lexicon
+		{"Fall2003", []string{"Yannis", "Deutsch"}},         // case 11: instance
+		{"Umfang", []string{"2V1U", "3V1U"}},                // name maps, values do not
+		{"SectionTitle", []string{"0101(13795) Singh, H."}}, // composite, name only
+	} {
+		c := m.Match(probe.name, probe.values)
+		fmt.Printf("  %-13s → %-11s (score %.2f, evidence: %s)\n",
+			probe.name, c.Concept, c.Score, c.Evidence)
+	}
+
+	fmt.Println(`
+What this demonstrates: name/dictionary/lexicon/instance matching aligns
+*attribute names* across the testbed with high accuracy — but alignment is
+only the first step. The value transformations (12h/24h clocks, Umfang vs
+units), dual NULL semantics, and structural regroupings that queries 2, 4,
+6-10 and 12 require remain programmatic work, which is exactly what the
+THALIA scoring function measures.`)
+}

@@ -1,0 +1,92 @@
+// Webharness drives the THALIA web site programmatically: it starts the
+// site on a local listener, browses a catalog, downloads the benchmark
+// bundle (checking its contents), uploads a benchmark score, and reads the
+// Honor Roll back — the full "Run Benchmark" workflow of Figure 4.
+package main
+
+import (
+	"archive/zip"
+	"bytes"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sort"
+	"strings"
+
+	"thalia"
+)
+
+func main() {
+	srv := httptest.NewServer(thalia.NewSiteHandler())
+	defer srv.Close()
+	fmt.Println("THALIA site running at", srv.URL)
+
+	// Browse one original catalog snapshot.
+	page := mustGet(srv.URL + "/catalogs/umd")
+	fmt.Printf("\n/catalogs/umd → %d bytes of cached HTML (nested sections: %v)\n",
+		len(page), strings.Contains(page, `class="sections"`))
+
+	// View extracted XML and schema.
+	xml := mustGet(srv.URL + "/browse/eth")
+	fmt.Printf("/browse/eth   → German schema preserved: %v\n", strings.Contains(xml, "<Titel>"))
+	xsd := mustGet(srv.URL + "/schema/eth")
+	fmt.Printf("/schema/eth   → schema inferred: %v\n", strings.Contains(xsd, "xs:schema"))
+
+	// Download the benchmark bundle (option 2 of "Run Benchmark").
+	data := mustGet(srv.URL + "/download/benchmark.zip")
+	zr, err := zip.NewReader(bytes.NewReader([]byte(data)), int64(len(data)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var names []string
+	for _, f := range zr.File {
+		names = append(names, f.Name)
+	}
+	sort.Strings(names)
+	fmt.Printf("\n/download/benchmark.zip → %d files:\n", len(names))
+	for _, n := range names {
+		fmt.Println("  ", n)
+	}
+
+	// Run the benchmark locally and upload the score.
+	card, err := thalia.Evaluate(thalia.NewIWIZ())
+	if err != nil {
+		log.Fatal(err)
+	}
+	form := url.Values{
+		"system":     {card.System},
+		"group":      {"Reproduction Lab"},
+		"correct":    {fmt.Sprint(card.CorrectCount())},
+		"complexity": {fmt.Sprint(card.ComplexityScore())},
+	}
+	resp, err := http.PostForm(srv.URL+"/scores", form)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("\nuploaded score: %s %d/12 (complexity %d)\n",
+		card.System, card.CorrectCount(), card.ComplexityScore())
+
+	// Read the Honor Roll back.
+	roll := mustGet(srv.URL + "/honor-roll")
+	fmt.Printf("/honor-roll shows IWIZ: %v\n", strings.Contains(roll, "IWIZ"))
+}
+
+func mustGet(u string) string {
+	resp, err := http.Get(u)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("GET %s: %s", u, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return string(body)
+}

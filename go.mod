@@ -1,0 +1,3 @@
+module thalia
+
+go 1.22

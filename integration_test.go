@@ -1,0 +1,206 @@
+package thalia
+
+// Cross-module integration tests: invariants that span the whole pipeline
+// (render → wrap → extract → infer → query → integrate → score), plus
+// failure injection on corrupted snapshots.
+
+import (
+	"strings"
+	"testing"
+
+	"thalia/internal/catalog"
+	"thalia/internal/integration"
+	"thalia/internal/tess"
+	"thalia/internal/xmldom"
+	"thalia/internal/xsd"
+)
+
+// Every source's wrapper configuration survives its own file format: the
+// marshaled-and-reparsed config extracts an identical document.
+func TestPipelineConfigRoundTripAllSources(t *testing.T) {
+	for _, src := range Sources() {
+		src := src
+		t.Run(src.Name, func(t *testing.T) {
+			page := src.Page()
+			cfg := src.Wrapper()
+			reparsed, err := tess.ParseConfig(tess.MarshalConfig(cfg))
+			if err != nil {
+				t.Fatalf("config round trip: %v", err)
+			}
+			d1, err := tess.Extract(cfg, page)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d2, err := tess.Extract(reparsed, page)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !xmldom.Equal(d1.Root, d2.Root) {
+				t.Error("round-tripped config extracts a different document")
+			}
+		})
+	}
+}
+
+// Every source's extracted XML survives serialization: parse(encode(doc))
+// equals doc, and the inferred schema accepts the reparsed document too.
+func TestPipelineSerializationStableAllSources(t *testing.T) {
+	for _, src := range Sources() {
+		src := src
+		t.Run(src.Name, func(t *testing.T) {
+			doc, err := src.Document()
+			if err != nil {
+				t.Fatal(err)
+			}
+			reparsed, err := xmldom.ParseString(doc.Encode())
+			if err != nil {
+				t.Fatalf("reparse: %v", err)
+			}
+			if !xmldom.Equal(doc.Root, reparsed.Root) {
+				t.Error("serialization changed the document")
+			}
+			sch, err := src.Schema()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if errs := sch.Validate(reparsed); len(errs) != 0 {
+				t.Errorf("reparsed document does not validate: %v", errs[0])
+			}
+		})
+	}
+}
+
+// The schema published for each source also round-trips through its own
+// xs: syntax and still validates the source.
+func TestPipelineSchemaRoundTripAllSources(t *testing.T) {
+	for _, src := range Sources() {
+		sch, err := src.Schema()
+		if err != nil {
+			t.Fatal(err)
+		}
+		parsed, err := xmldom.ParseString(sch.Encode())
+		if err != nil {
+			t.Fatalf("%s: %v", src.Name, err)
+		}
+		sch2, err := xsd.FromXML(parsed)
+		if err != nil {
+			t.Fatalf("%s: %v", src.Name, err)
+		}
+		doc, err := src.Document()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if errs := sch2.Validate(doc); len(errs) != 0 {
+			t.Errorf("%s: reparsed schema rejects source: %v", src.Name, errs[0])
+		}
+	}
+}
+
+// Every sample solution published by the site parses back into exactly the
+// expected rows (the RowsToXML/RowsFromXML wire format is faithful).
+func TestSampleSolutionsRoundTrip(t *testing.T) {
+	for _, q := range Queries() {
+		want, err := q.Expected()
+		if err != nil {
+			t.Fatal(err)
+		}
+		doc := ResultXML(q.ID, want)
+		reparsed, err := xmldom.ParseString(doc.Encode())
+		if err != nil {
+			t.Fatalf("query %d: %v", q.ID, err)
+		}
+		got, err := integration.RowsFromXML(reparsed)
+		if err != nil {
+			t.Fatalf("query %d: %v", q.ID, err)
+		}
+		missing, extra := integration.MatchRows(want, got)
+		if len(missing) != 0 || len(extra) != 0 {
+			t.Errorf("query %d: solution round trip lost rows: missing=%v extra=%v",
+				q.ID, missing, extra)
+		}
+	}
+}
+
+// Failure injection: corrupting a cached snapshot must produce a
+// diagnosable wrapper error, not silent bad data.
+func TestFailureInjectionCorruptedSnapshot(t *testing.T) {
+	src, err := catalog.Get("gatech")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := src.Page()
+	cfg := src.Wrapper()
+
+	// Truncate mid-row: the row's remaining fields cannot be located.
+	idx := strings.Index(page, `<tr class="course">`)
+	truncated := page[:idx+40]
+	if _, err := tess.Extract(cfg, truncated); err == nil {
+		t.Error("truncated page should fail extraction")
+	} else if _, ok := err.(*tess.FieldError); !ok {
+		t.Errorf("error type %T, want *tess.FieldError", err)
+	}
+
+	// Delete every row: the required Course rule finds nothing.
+	gutted := strings.ReplaceAll(page, `<tr class="course">`, `<tr class="x">`)
+	if _, err := tess.Extract(cfg, gutted); err == nil {
+		t.Error("gutted page should fail extraction")
+	}
+
+	// A stale wrapper against a source whose markup drifted (the paper's
+	// "syntactic changes to the underlying source must be reflected in the
+	// configuration file"): renaming the cell tags breaks the config.
+	drifted := strings.ReplaceAll(page, "<td>", "<cell>")
+	drifted = strings.ReplaceAll(drifted, "</td>", "</cell>")
+	if _, err := tess.Extract(cfg, drifted); err == nil {
+		t.Error("drifted markup should fail extraction")
+	}
+}
+
+// Failure injection: a system that errors mid-benchmark is recorded as
+// incorrect for that query but does not abort the evaluation.
+type flakySystem struct{}
+
+func (flakySystem) Name() string        { return "Flaky" }
+func (flakySystem) Description() string { return "errors on query 2" }
+func (flakySystem) Answer(req Request) (*Answer, error) {
+	if req.QueryID == 2 {
+		return nil, strings.NewReader("").UnreadRune() // an arbitrary non-ErrUnsupported error
+	}
+	return nil, ErrUnsupported
+}
+
+func TestFailureInjectionFlakySystem(t *testing.T) {
+	card, err := Evaluate(flakySystem{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := card.Result(2)
+	if !r.Supported || r.Correct || r.Err == "" {
+		t.Errorf("flaky query not diagnosed: %+v", r)
+	}
+	if card.CorrectCount() != 0 {
+		t.Errorf("correct = %d", card.CorrectCount())
+	}
+}
+
+// The three perfect-score mediators must produce mutually consistent rows
+// for every query (hand-coded ufmw vs table-driven rewrite).
+func TestMediatorsAgree(t *testing.T) {
+	a := NewReferenceMediator()
+	b := NewDeclarativeMediator()
+	for id := 1; id <= 12; id++ {
+		req := Request{QueryID: id}
+		ra, err := a.Answer(req)
+		if err != nil {
+			t.Fatalf("ufmw q%d: %v", id, err)
+		}
+		rb, err := b.Answer(req)
+		if err != nil {
+			t.Fatalf("rewrite q%d: %v", id, err)
+		}
+		missing, extra := integration.MatchRows(ra.Rows, rb.Rows)
+		if len(missing) != 0 || len(extra) != 0 {
+			t.Errorf("query %d: mediators disagree: missing=%v extra=%v", id, missing, extra)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package benchmark
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"thalia/internal/integration"
+)
+
+// Runner evaluates integration systems on the benchmark.
+type Runner struct {
+	Queries []*Query
+}
+
+// NewRunner returns a runner over all twelve queries.
+func NewRunner() *Runner { return &Runner{Queries: Queries()} }
+
+// Evaluate runs every benchmark query through the system and scores the
+// outcome against the expected integrated answers.
+func (r *Runner) Evaluate(sys integration.System) (*Scorecard, error) {
+	card := &Scorecard{System: sys.Name(), Description: sys.Description()}
+	for _, q := range r.Queries {
+		res := QueryResult{QueryID: q.ID}
+		want, err := q.Expected()
+		if err != nil {
+			return nil, fmt.Errorf("benchmark: query %d: expected answer: %w", q.ID, err)
+		}
+		ans, err := sys.Answer(q.Request())
+		switch {
+		case errors.Is(err, integration.ErrUnsupported):
+			// Declined: no point, no complexity charge.
+		case err != nil:
+			res.Supported = true
+			res.Err = err.Error()
+		default:
+			res.Supported = true
+			res.Effort = ans.Effort
+			res.Functions = ans.Functions
+			res.Missing, res.Extra = integration.MatchRows(want, ans.Rows)
+			res.Correct = len(res.Missing) == 0 && len(res.Extra) == 0
+		}
+		card.Results = append(card.Results, res)
+	}
+	return card, nil
+}
+
+// EvaluateAll scores several systems and returns their cards ranked.
+func (r *Runner) EvaluateAll(systems ...integration.System) ([]*Scorecard, error) {
+	var cards []*Scorecard
+	for _, sys := range systems {
+		card, err := r.Evaluate(sys)
+		if err != nil {
+			return nil, err
+		}
+		cards = append(cards, card)
+	}
+	return Rank(cards), nil
+}
+
+// Summary renders the Section 4.2 narrative line for a scorecard, e.g.
+// "Cohera could do 4 queries with no code, and another 5 with varying
+// amounts of user-defined code. The other 3 queries look very difficult."
+func Summary(s *Scorecard) string {
+	noCode := s.NoCodeCount()
+	withCode := s.SupportedCount() - noCode
+	declined := len(s.Results) - s.SupportedCount()
+	return fmt.Sprintf("%s: %d queries with no code, %d with custom integration code, %d unsupported; %d/12 correct, complexity score %d.",
+		s.System, noCode, withCode, declined, s.CorrectCount(), s.ComplexityScore())
+}
+
+// Comparison renders the side-by-side per-query table for several systems —
+// the reproduction of Section 4.2's evaluation.
+func Comparison(cards []*Scorecard) string {
+	var b strings.Builder
+	b.WriteString("Section 4.2 — per-query support by system\n\n")
+	fmt.Fprintf(&b, "%-7s %-42s", "Query", "Heterogeneity")
+	for _, c := range cards {
+		fmt.Fprintf(&b, " %-22s", c.System)
+	}
+	b.WriteString("\n")
+	qs := Queries()
+	for i, q := range qs {
+		fmt.Fprintf(&b, "%-7d %-42s", q.ID, q.Case.Name())
+		for _, c := range cards {
+			r := c.Results[i]
+			cell := "unsupported"
+			if r.Supported {
+				cell = r.Effort.String()
+				if !r.Correct {
+					cell += " (WRONG)"
+				}
+			}
+			fmt.Fprintf(&b, " %-22s", cell)
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("\n")
+	for _, c := range cards {
+		b.WriteString(Summary(c))
+		b.WriteString("\n")
+	}
+	return b.String()
+}

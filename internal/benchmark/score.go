@@ -1,0 +1,250 @@
+package benchmark
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"thalia/internal/hetero"
+	"thalia/internal/integration"
+)
+
+// QueryResult is the outcome of one benchmark query for one system.
+type QueryResult struct {
+	QueryID int
+	// Supported is false when the system declined the query
+	// (integration.ErrUnsupported) — it scores no point.
+	Supported bool
+	// Correct means the integrated rows matched the expected answer exactly
+	// (as a multiset).
+	Correct bool
+	// Effort is the system's self-reported programmatic effort.
+	Effort integration.Effort
+	// Functions are the external functions the system invoked.
+	Functions []integration.FunctionUse
+	// Missing and Extra diagnose an incorrect answer.
+	Missing []integration.Row
+	Extra   []integration.Row
+	// Err records an evaluation failure other than ErrUnsupported.
+	Err string
+}
+
+// Complexity is the query's contribution to the complexity score: the sum
+// of the complexities of the external functions invoked, or (when a system
+// reports effort without itemized functions) the effort's complexity.
+func (r *QueryResult) Complexity() int {
+	if !r.Supported {
+		return 0
+	}
+	if len(r.Functions) == 0 {
+		return r.Effort.Complexity()
+	}
+	total := 0
+	for _, f := range r.Functions {
+		total += f.Complexity
+	}
+	return total
+}
+
+// Scorecard is a system's full benchmark outcome.
+type Scorecard struct {
+	System      string
+	Description string
+	Results     []QueryResult
+}
+
+// CorrectCount is the paper's primary score: one point per correctly
+// answered query, out of 12.
+func (s *Scorecard) CorrectCount() int {
+	n := 0
+	for _, r := range s.Results {
+		if r.Correct {
+			n++
+		}
+	}
+	return n
+}
+
+// SupportedCount counts the queries the system attempted.
+func (s *Scorecard) SupportedCount() int {
+	n := 0
+	for _, r := range s.Results {
+		if r.Supported {
+			n++
+		}
+	}
+	return n
+}
+
+// NoCodeCount counts supported queries answered with no custom code.
+func (s *Scorecard) NoCodeCount() int {
+	n := 0
+	for _, r := range s.Results {
+		if r.Supported && r.Effort == integration.EffortNone {
+			n++
+		}
+	}
+	return n
+}
+
+// ComplexityScore is the tie-breaking score: the total complexity of all
+// external functions invoked. Per the paper, the higher the complexity
+// score, the lower the level of sophistication of the integration system.
+func (s *Scorecard) ComplexityScore() int {
+	total := 0
+	for _, r := range s.Results {
+		total += r.Complexity()
+	}
+	return total
+}
+
+// Result returns the outcome for a query id, or nil.
+func (s *Scorecard) Result(queryID int) *QueryResult {
+	for i := range s.Results {
+		if s.Results[i].QueryID == queryID {
+			return &s.Results[i]
+		}
+	}
+	return nil
+}
+
+// Rank orders scorecards by the paper's scheme: more correct answers first;
+// among equals, the lower complexity score (more sophistication) wins; name
+// breaks any remaining tie deterministically.
+func Rank(cards []*Scorecard) []*Scorecard {
+	out := append([]*Scorecard(nil), cards...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if a, b := out[i].CorrectCount(), out[j].CorrectCount(); a != b {
+			return a > b
+		}
+		if a, b := out[i].ComplexityScore(), out[j].ComplexityScore(); a != b {
+			return a < b
+		}
+		return out[i].System < out[j].System
+	})
+	return out
+}
+
+// Format renders a scorecard as the per-query table of Section 4.2.
+func (s *Scorecard) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "System: %s\n", s.System)
+	if s.Description != "" {
+		fmt.Fprintf(&b, "  %s\n", s.Description)
+	}
+	for _, r := range s.Results {
+		status := "unsupported"
+		if r.Supported {
+			if r.Correct {
+				status = "correct"
+			} else {
+				status = "INCORRECT"
+			}
+		}
+		fmt.Fprintf(&b, "  Query %2d: %-11s  effort: %-25s complexity: %d",
+			r.QueryID, status, r.Effort, r.Complexity())
+		if len(r.Functions) > 0 {
+			names := make([]string, len(r.Functions))
+			for i, f := range r.Functions {
+				names[i] = f.Name
+			}
+			fmt.Fprintf(&b, "  functions: %s", strings.Join(names, ", "))
+		}
+		if r.Err != "" {
+			fmt.Fprintf(&b, "  error: %s", r.Err)
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "  Score: %d/12 correct, complexity score %d (%d queries with no code)\n",
+		s.CorrectCount(), s.ComplexityScore(), s.NoCodeCount())
+	return b.String()
+}
+
+// HonorRollEntry is one uploaded benchmark score.
+type HonorRollEntry struct {
+	System     string
+	Group      string // the research group or vendor that uploaded the score
+	Correct    int
+	Complexity int
+}
+
+// HonorRoll is the public ranking the THALIA web site maintains.
+type HonorRoll struct {
+	Entries []HonorRollEntry
+}
+
+// Add inserts an entry from a scorecard.
+func (h *HonorRoll) Add(group string, s *Scorecard) {
+	h.Entries = append(h.Entries, HonorRollEntry{
+		System:     s.System,
+		Group:      group,
+		Correct:    s.CorrectCount(),
+		Complexity: s.ComplexityScore(),
+	})
+	h.sort()
+}
+
+// AddEntry inserts a pre-computed entry (scores uploaded by third parties).
+func (h *HonorRoll) AddEntry(e HonorRollEntry) {
+	h.Entries = append(h.Entries, e)
+	h.sort()
+}
+
+func (h *HonorRoll) sort() {
+	sort.SliceStable(h.Entries, func(i, j int) bool {
+		if h.Entries[i].Correct != h.Entries[j].Correct {
+			return h.Entries[i].Correct > h.Entries[j].Correct
+		}
+		if h.Entries[i].Complexity != h.Entries[j].Complexity {
+			return h.Entries[i].Complexity < h.Entries[j].Complexity
+		}
+		return h.Entries[i].System < h.Entries[j].System
+	})
+}
+
+// Format renders the honor roll as a text table.
+func (h *HonorRoll) Format() string {
+	var b strings.Builder
+	b.WriteString("THALIA Honor Roll\n")
+	b.WriteString("rank  system                      group                 correct  complexity\n")
+	for i, e := range h.Entries {
+		fmt.Fprintf(&b, "%4d  %-26s  %-20s  %5d/12  %10d\n", i+1, e.System, e.Group, e.Correct, e.Complexity)
+	}
+	return b.String()
+}
+
+// GroupScore is the per-group breakdown of a scorecard, following the
+// paper's three heterogeneity groups.
+type GroupScore struct {
+	Group     hetero.Group
+	Correct   int
+	Supported int
+	Total     int
+}
+
+// GroupBreakdown reports correctness per heterogeneity group — useful for
+// seeing *where* a system falls down (the paper's hard core is the tail of
+// the attribute group and the missing-data group).
+func (s *Scorecard) GroupBreakdown() []GroupScore {
+	byGroup := map[hetero.Group]*GroupScore{}
+	order := []hetero.Group{hetero.GroupAttribute, hetero.GroupMissingData, hetero.GroupStructural}
+	for _, g := range order {
+		byGroup[g] = &GroupScore{Group: g}
+	}
+	for _, r := range s.Results {
+		g := hetero.Case(r.QueryID).Group()
+		gs := byGroup[g]
+		gs.Total++
+		if r.Supported {
+			gs.Supported++
+		}
+		if r.Correct {
+			gs.Correct++
+		}
+	}
+	out := make([]GroupScore, len(order))
+	for i, g := range order {
+		out[i] = *byGroup[g]
+	}
+	return out
+}

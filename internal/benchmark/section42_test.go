@@ -1,0 +1,183 @@
+package benchmark
+
+import (
+	"strings"
+	"testing"
+
+	"thalia/internal/cohera"
+	"thalia/internal/integration"
+	"thalia/internal/iwiz"
+	"thalia/internal/rewrite"
+	"thalia/internal/ufmw"
+)
+
+// TestSection42Cohera reproduces the paper's Section 4.2 projection for the
+// Cohera federated DBMS: 4 queries with no code (1, 6, 9, 10), 5 with
+// user-defined code (2, 3, 7, 11, 12), and 3 declined (4, 5, 8) — and in
+// our runnable reproduction the 9 supported queries are answered correctly.
+func TestSection42Cohera(t *testing.T) {
+	card, err := NewRunner().Evaluate(cohera.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEffort := map[int]integration.Effort{
+		1: integration.EffortNone, 6: integration.EffortNone,
+		9: integration.EffortNone, 10: integration.EffortNone,
+		2: integration.EffortSmall,
+		3: integration.EffortModerate, 7: integration.EffortModerate,
+		11: integration.EffortModerate, 12: integration.EffortModerate,
+	}
+	declined := map[int]bool{4: true, 5: true, 8: true}
+	for _, r := range card.Results {
+		if declined[r.QueryID] {
+			if r.Supported {
+				t.Errorf("query %d: Cohera should decline", r.QueryID)
+			}
+			continue
+		}
+		if !r.Supported {
+			t.Errorf("query %d: Cohera should support", r.QueryID)
+			continue
+		}
+		if !r.Correct {
+			t.Errorf("query %d: incorrect: err=%q missing=%v extra=%v", r.QueryID, r.Err, r.Missing, r.Extra)
+		}
+		if r.Effort != wantEffort[r.QueryID] {
+			t.Errorf("query %d: effort %v, paper says %v", r.QueryID, r.Effort, wantEffort[r.QueryID])
+		}
+	}
+	if got := card.CorrectCount(); got != 9 {
+		t.Errorf("Cohera correct = %d, want 9", got)
+	}
+	if got := card.NoCodeCount(); got != 4 {
+		t.Errorf("Cohera no-code = %d, want 4 (paper: \"could do 4 queries with no code\")", got)
+	}
+	if got := card.SupportedCount() - card.NoCodeCount(); got != 5 {
+		t.Errorf("Cohera with-code = %d, want 5", got)
+	}
+	// Complexity: Q2 low(1) + Q3/Q7/Q11/Q12 moderate(2 each) = 9.
+	if got := card.ComplexityScore(); got != 9 {
+		t.Errorf("Cohera complexity = %d, want 9", got)
+	}
+}
+
+// TestSection42IWIZ reproduces the paper's projection for IWIZ: 9 queries
+// with small-to-moderate custom code, 3 unanswerable.
+func TestSection42IWIZ(t *testing.T) {
+	card, err := NewRunner().Evaluate(iwiz.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEffort := map[int]integration.Effort{
+		1: integration.EffortSmall, 2: integration.EffortSmall,
+		9: integration.EffortSmall, 10: integration.EffortSmall,
+		3: integration.EffortModerate, 6: integration.EffortModerate,
+		7: integration.EffortModerate, 11: integration.EffortModerate,
+		12: integration.EffortModerate,
+	}
+	declined := map[int]bool{4: true, 5: true, 8: true}
+	for _, r := range card.Results {
+		if declined[r.QueryID] {
+			if r.Supported {
+				t.Errorf("query %d: IWIZ should decline", r.QueryID)
+			}
+			continue
+		}
+		if !r.Supported {
+			t.Errorf("query %d: IWIZ should support", r.QueryID)
+			continue
+		}
+		if !r.Correct {
+			t.Errorf("query %d: incorrect: err=%q missing=%v extra=%v", r.QueryID, r.Err, r.Missing, r.Extra)
+		}
+		if r.Effort != wantEffort[r.QueryID] {
+			t.Errorf("query %d: effort %v, paper says %v", r.QueryID, r.Effort, wantEffort[r.QueryID])
+		}
+	}
+	if got := card.CorrectCount(); got != 9 {
+		t.Errorf("IWIZ correct = %d, want 9", got)
+	}
+	// IWIZ answers nothing without at least small code (no UDF-free path).
+	if got := card.NoCodeCount(); got != 0 {
+		t.Errorf("IWIZ no-code = %d, want 0", got)
+	}
+	// Complexity: 4 small (1) + 5 moderate (2) = 14.
+	if got := card.ComplexityScore(); got != 14 {
+		t.Errorf("IWIZ complexity = %d, want 14", got)
+	}
+}
+
+// TestSection42Shape checks the paper's comparative claims: both existing
+// systems fail the same three queries, tie on correctness, and the
+// complexity tie-break ranks Cohera (4 no-code queries) above IWIZ; the
+// full mediator demonstrates that a system *can* score 12/12, at the
+// highest complexity — "we know of no system that can score well" is about
+// existing systems, and the benchmark can tell these three apart.
+func TestSection42Shape(t *testing.T) {
+	runner := NewRunner()
+	cards, err := runner.EvaluateAll(cohera.New(), iwiz.New(), ufmw.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cards[0].System != "UF Full Mediator" {
+		t.Errorf("rank 1 = %s, want the full mediator", cards[0].System)
+	}
+	if cards[1].System != "Cohera" || cards[2].System != "IWIZ" {
+		t.Errorf("tie-break order: %s then %s; want Cohera above IWIZ (lower complexity)",
+			cards[1].System, cards[2].System)
+	}
+	if cards[1].CorrectCount() != cards[2].CorrectCount() {
+		t.Error("Cohera and IWIZ should tie on correctness")
+	}
+	if !(cards[1].ComplexityScore() < cards[2].ComplexityScore()) {
+		t.Error("Cohera should have the lower complexity score")
+	}
+	if !(cards[0].ComplexityScore() > cards[2].ComplexityScore()) {
+		t.Error("the full mediator pays the highest complexity")
+	}
+	// Both legacy systems fail exactly {4, 5, 8}.
+	for _, card := range cards[1:] {
+		for _, id := range []int{4, 5, 8} {
+			if card.Result(id).Supported {
+				t.Errorf("%s should decline query %d", card.System, id)
+			}
+		}
+	}
+
+	out := Comparison(cards)
+	for _, want := range []string{
+		"Cohera", "IWIZ", "UF Full Mediator",
+		"Cohera: 4 queries with no code, 5 with custom integration code, 3 unsupported",
+		"IWIZ: 0 queries with no code, 9 with custom integration code, 3 unsupported",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Comparison missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestDeclarativeMediatorScoresPerfect: the generic rewrite mediator —
+// configured purely by mapping tables, with zero per-query code — also
+// reaches 12/12, demonstrating that the benchmark's twelve cases are
+// resolvable by one declarative engine plus a transformation catalog.
+func TestDeclarativeMediatorScoresPerfect(t *testing.T) {
+	card, err := NewRunner().Evaluate(rewrite.NewSystem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range card.Results {
+		if !r.Correct {
+			t.Errorf("query %d incorrect: err=%q missing=%v extra=%v",
+				r.QueryID, r.Err, r.Missing, r.Extra)
+		}
+	}
+	if card.CorrectCount() != 12 {
+		t.Errorf("declarative mediator scored %d/12", card.CorrectCount())
+	}
+	// It is charged for the hard machinery: lexicon and dual NULLs.
+	for _, id := range []int{4, 5, 8} {
+		if c := card.Result(id).Complexity(); c < 3 {
+			t.Errorf("query %d complexity = %d, want >= 3", id, c)
+		}
+	}
+}

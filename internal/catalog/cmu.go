@@ -1,0 +1,161 @@
+package catalog
+
+import (
+	"fmt"
+	"strings"
+
+	"thalia/internal/hetero"
+	"thalia/internal/tess"
+)
+
+// Carnegie Mellon University: the paper's most-used challenge/reference
+// source. Its schema calls the instructor "Lecturer" (case 1), counts
+// workload in "Units" (case 4's reference), prints times on a bare 12-hour
+// clock ("1:30 - 2:50", case 2's reference), sometimes attaches a free-text
+// comment to the course title (case 7), has courses with no textbook at all
+// (case 6), and stores multiple instructors in one slash-separated Lecturer
+// value (case 10's reference).
+func init() {
+	courses := []Course{
+		{
+			Number:      "15-415",
+			Title:       "Database System Design and Implementation",
+			Instructors: []Instructor{{Name: "Ailamaki"}},
+			Days:        "MW",
+			Start:       13*60 + 30,
+			End:         14*60 + 50,
+			Room:        "WEH 5409",
+			Credits:     12, // CMU units
+			Comment:     "First course in sequence",
+		},
+		{
+			Number:      "15-567",
+			Title:       "Embedded Systems Engineering",
+			Instructors: []Instructor{{Name: "Mark"}},
+			Days:        "TTh",
+			Start:       15 * 60,
+			End:         16*60 + 20,
+			Room:        "HH B131",
+			Credits:     9,
+			Textbook:    "Embedded System Design (Gajski)",
+		},
+		{
+			Number:      "15-712",
+			Title:       "Secure Software Systems",
+			Instructors: []Instructor{{Name: "Song"}, {Name: "Wing"}},
+			Days:        "MW",
+			Start:       10*60 + 30,
+			End:         11*60 + 50,
+			Room:        "WEH 4623",
+			Credits:     12,
+			Textbook:    "Security Engineering (Anderson)",
+		},
+		{
+			Number:      "15-817",
+			Title:       "Specification and Verification",
+			Instructors: []Instructor{{Name: "Clarke"}},
+			Days:        "TTh",
+			Start:       12 * 60,
+			End:         13*60 + 20,
+			Room:        "GHC 4303",
+			Credits:     12,
+			// No textbook: the missing-data heterogeneity (case 6).
+		},
+		{
+			Number:      "15-744",
+			Title:       "Computer Networks",
+			Instructors: []Instructor{{Name: "Zhang"}},
+			Days:        "F",
+			Start:       10*60 + 30,
+			End:         13*60 + 20,
+			Room:        "WEH 5403",
+			Credits:     12,
+			Textbook:    "Computer Networking: A Top-Down Approach",
+		},
+	}
+	for i, p := range poolSlice("cmu", 10) {
+		courses = append(courses, Course{
+			Number:      fmt.Sprintf("15-%d", 200+i*31),
+			Title:       p.Title,
+			Instructors: []Instructor{{Name: p.Surname}},
+			Days:        p.Days,
+			Start:       p.Start,
+			End:         p.End,
+			Room:        p.Room,
+			Credits:     p.Credits * 3, // CMU units run ~3x semester hours
+			Textbook:    p.Textbook,
+		})
+	}
+
+	register(&Source{
+		Name:       "cmu",
+		University: "Carnegie Mellon University",
+		Country:    "USA",
+		Style:      `tabular; "Lecturer" naming; workload in units; bare 12-hour clock; comments attached to titles; optional textbooks; multi-instructor Lecturer values`,
+		Exhibits: []hetero.Case{
+			hetero.Synonyms, hetero.SimpleMapping, hetero.ComplexMappings,
+			hetero.Nulls, hetero.VirtualColumns, hetero.HandlingSets,
+		},
+		Courses:    courses,
+		RenderHTML: renderCMU,
+		Wrapper:    cmuWrapper,
+	})
+}
+
+func cmuLecturer(c *Course) string {
+	names := make([]string, len(c.Instructors))
+	for i, in := range c.Instructors {
+		names[i] = in.Name
+	}
+	return strings.Join(names, "/")
+}
+
+func renderCMU(s *Source) string {
+	var b strings.Builder
+	b.WriteString(`<html><head><title>SCS Schedule of Classes</title></head><body>
+<h2>Carnegie Mellon University &mdash; School of Computer Science</h2>
+<table>
+<tr><th>Course</th><th>Course Title</th><th>Units</th><th>Lecturer</th><th>Day</th><th>Time</th><th>Room</th><th>Textbook</th></tr>
+`)
+	for i := range s.Courses {
+		c := &s.Courses[i]
+		titleCell := xmlEscape(c.Title)
+		if c.Comment != "" {
+			titleCell += `<br><em class="note">` + xmlEscape(c.Comment) + `</em>`
+		}
+		timeCell := Clock12Bare(c.Start) + " - " + Clock12Bare(c.End)
+		fmt.Fprintf(&b, `<tr class="course"><td>%s</td><td>%s</td><td>%d</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td></tr>
+`, c.Number, titleCell, c.Credits, xmlEscape(cmuLecturer(c)), c.Days, timeCell, xmlEscape(c.Room), xmlEscape(c.Textbook))
+	}
+	b.WriteString("</table></body></html>\n")
+	return b.String()
+}
+
+func cmuWrapper() *tess.Config {
+	return &tess.Config{
+		Source: "cmu",
+		Rules: []*tess.Rule{{
+			Name:   "Course",
+			Begin:  `<tr class="course">`,
+			End:    `</tr>`,
+			Repeat: true,
+			Rules: []*tess.Rule{
+				{Name: "CourseNumber", Begin: `<td>`, End: `</td>`},
+				{
+					// The title column is mixed content: the title text plus
+					// an optional attached comment (case 7).
+					Name: "CourseTitle", Begin: `<td>`, End: `</td>`, Mixed: true,
+					Rules: []*tess.Rule{
+						{Name: "Comment", Begin: `<em class="note">`, End: `</em>`, Optional: true},
+					},
+				},
+				{Name: "Units", Begin: `<td>`, End: `</td>`},
+				{Name: "Lecturer", Begin: `<td>`, End: `</td>`},
+				{Name: "Day", Begin: `<td>`, End: `</td>`},
+				{Name: "Time", Begin: `<td>`, End: `</td>`},
+				{Name: "Room", Begin: `<td>`, End: `</td>`},
+				{Name: "Textbook", Begin: `<td>`, End: `</td>`},
+			},
+		}},
+	}
+}

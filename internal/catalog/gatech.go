@@ -1,0 +1,132 @@
+package catalog
+
+import (
+	"fmt"
+	"strings"
+
+	"thalia/internal/hetero"
+	"thalia/internal/tess"
+)
+
+// Georgia Tech: the reference schema for the synonym query (its field is
+// called "Instructor") and for semantic incompatibility (its "Restrictions"
+// column carries US student classifications like "JR or SR", a concept that
+// simply does not exist at European universities).
+func init() {
+	courses := []Course{
+		{
+			Number:      "CS4251",
+			Title:       "Intro-Network Management",
+			Instructors: []Instructor{{Name: "Mark"}},
+			Days:        "MWF",
+			Start:       9 * 60,
+			End:         9*60 + 50,
+			Room:        "CoC 101",
+			Credits:     3,
+			Restrict:    "JR or SR",
+			Comment:     "CRN 20381",
+		},
+		{
+			Number:      "CS4400",
+			Title:       "Introduction to Database Systems",
+			Instructors: []Instructor{{Name: "Navathe"}},
+			Days:        "TTh",
+			Start:       13*60 + 30,
+			End:         14*60 + 45,
+			Room:        "CoC 016",
+			Credits:     3,
+			Restrict:    "JR or SR",
+			Comment:     "CRN 20432",
+		},
+		{
+			Number:      "CS6422",
+			Title:       "Database System Implementation",
+			Instructors: []Instructor{{Name: "Omiecinski"}},
+			Days:        "MW",
+			Start:       16 * 60,
+			End:         17*60 + 15,
+			Room:        "CoC 053",
+			Credits:     3,
+			Restrict:    "GR",
+			Comment:     "CRN 20433",
+		},
+	}
+	for i, p := range poolSlice("gatech", 10) {
+		restrict := ""
+		switch i % 4 {
+		case 0:
+			restrict = "SO"
+		case 1:
+			restrict = "JR or SR"
+		case 2:
+			restrict = "SR"
+		case 3:
+			restrict = "GR"
+		}
+		courses = append(courses, Course{
+			Number:      fmt.Sprintf("CS%d", 1000+p.Num*3),
+			Title:       p.Title,
+			Instructors: []Instructor{{Name: p.Surname}},
+			Days:        p.Days,
+			Start:       p.Start,
+			End:         p.End,
+			Room:        p.Room,
+			Credits:     p.Credits,
+			Restrict:    restrict,
+			Comment:     fmt.Sprintf("CRN %d", 20500+i*17),
+		})
+	}
+
+	register(&Source{
+		Name:       "gatech",
+		University: "Georgia Institute of Technology",
+		Country:    "USA",
+		Style:      `tabular with registrar CRNs; "Instructor" naming; US student-classification restrictions ("JR or SR")`,
+		Exhibits:   []hetero.Case{hetero.Synonyms, hetero.SemanticIncompatibility},
+		Courses:    courses,
+		RenderHTML: renderGatech,
+		Wrapper:    gatechWrapper,
+	})
+}
+
+func gatechCRN(c *Course) string {
+	return strings.TrimPrefix(c.Comment, "CRN ")
+}
+
+func renderGatech(s *Source) string {
+	var b strings.Builder
+	b.WriteString(`<html><head><title>Georgia Tech OSCAR</title></head><body>
+<h2>Georgia Tech &mdash; College of Computing Schedule</h2>
+<table>
+<tr><th>CRN</th><th>Course</th><th>Title</th><th>Instructor</th><th>Time</th><th>Room</th><th>Restrictions</th></tr>
+`)
+	for i := range s.Courses {
+		c := &s.Courses[i]
+		fmt.Fprintf(&b, `<tr class="course"><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%s %s-%s</td><td>%s</td><td>%s</td></tr>
+`, gatechCRN(c), c.Number, xmlEscape(c.Title), xmlEscape(c.Instructors[0].Name),
+			c.Days, Clock12(c.Start), Clock12(c.End), xmlEscape(c.Room), xmlEscape(c.Restrict))
+	}
+	b.WriteString("</table></body></html>\n")
+	return b.String()
+}
+
+func gatechWrapper() *tess.Config {
+	return &tess.Config{
+		Source: "gatech",
+		Rules: []*tess.Rule{{
+			Name:   "Course",
+			Begin:  `<tr class="course">`,
+			End:    `</tr>`,
+			Repeat: true,
+			Rules: []*tess.Rule{
+				{Name: "CRN", Begin: `<td>`, End: `</td>`},
+				{Name: "CourseNum", Begin: `<td>`, End: `</td>`},
+				{Name: "Title", Begin: `<td>`, End: `</td>`},
+				{Name: "Instructor", Begin: `<td>`, End: `</td>`},
+				{Name: "Time", Begin: `<td>`, End: `</td>`},
+				{Name: "Room", Begin: `<td>`, End: `</td>`},
+				{Name: "Restrictions", Begin: `<td>`, End: `</td>`},
+			},
+		}},
+	}
+}

@@ -1,0 +1,139 @@
+package catalog
+
+import (
+	"fmt"
+	"strings"
+
+	"thalia/internal/hetero"
+	"thalia/internal/tess"
+)
+
+// University of Maryland (Figure 2): a free-form page where each course
+// embeds a *nested* table of sections. Extracting it required the paper's
+// modification of TESS for nested structures. Room and meeting time live
+// inside each Section's Time element (case 9), instructors are per-section
+// rather than a single set-valued field (case 10), and section titles carry
+// seat-count annotations.
+func init() {
+	courses := []Course{
+		{
+			Number:  "CMSC420",
+			Title:   "Data Structures",
+			Credits: 3,
+			Prereq:  "CMSC214",
+			Sections: []Section{
+				{Num: "0101", ID: "13801", Teacher: "Mount, D.", Days: "MWF", Time: "11:00am", Room: "CSI2117"},
+			},
+		},
+		{
+			Number:  "CMSC424",
+			Title:   "Database Design",
+			Credits: 3,
+			Prereq:  "CMSC420",
+			Sections: []Section{
+				{Num: "0101", ID: "13822", Teacher: "Roussopoulos, N.", Days: "TTh", Time: "2:00pm", Room: "CSB0109"},
+			},
+		},
+		{
+			Number:  "CMSC435",
+			Title:   "Software Engineering",
+			Credits: 3,
+			Prereq:  "CMSC430",
+			Sections: []Section{
+				{Num: "0101", ID: "13795", Teacher: "Singh, H.", Days: "MWF", Time: "10:00am", Room: "KEY0106"},
+				{Num: "0201", ID: "13796", Teacher: "Memon, A.", Days: "TTh", Time: "3:30pm", Room: "EGR2154", Seats: 40, Open: 2, Waitlist: 0},
+			},
+		},
+	}
+	for i, p := range poolSlice("umd", 9) {
+		c := Course{
+			Number:  fmt.Sprintf("CMSC%d", 100+p.Num),
+			Title:   p.Title,
+			Credits: p.Credits,
+			Prereq:  p.Prereq,
+			Sections: []Section{
+				{Num: "0101", ID: fmt.Sprintf("%d", 14000+i*13), Teacher: p.Surname + ", " + string(p.Surname[0]) + ".", Days: p.Days, Time: Clock12(p.Start), Room: strings.ReplaceAll(p.Room, " ", "")},
+			},
+		}
+		if i%3 == 0 {
+			c.Sections = append(c.Sections, Section{
+				Num: "0201", ID: fmt.Sprintf("%d", 14001+i*13), Teacher: "Staff", Days: "MW", Time: Clock12(p.Start + 120), Room: strings.ReplaceAll(p.Room, " ", ""), Seats: 30, Open: 5,
+			})
+		}
+		courses = append(courses, c)
+	}
+
+	register(&Source{
+		Name:       "umd",
+		University: "University of Maryland",
+		Country:    "USA",
+		Style:      "free-form page with nested section tables; room and time inside Section/Time; per-section instructors; seat annotations in section titles",
+		Exhibits: []hetero.Case{
+			hetero.Synonyms, hetero.SameAttributeDifferentStructure, hetero.HandlingSets,
+		},
+		Courses:    courses,
+		RenderHTML: renderUMD,
+		Wrapper:    umdWrapper,
+	})
+}
+
+func renderUMD(s *Source) string {
+	var b strings.Builder
+	b.WriteString(`<html><head><title>UMD CS Schedule of Classes</title></head><body>
+<h2>University of Maryland &mdash; Computer Science</h2>
+`)
+	for i := range s.Courses {
+		c := &s.Courses[i]
+		fmt.Fprintf(&b, `<div class="course"><b>%s</b> %s; <i>(%d credits) Prereq: %s</i>
+<table class="sections">
+`, c.Number, xmlEscape(c.Title), c.Credits, xmlEscape(orNone(c.Prereq)))
+		for _, sec := range c.Sections {
+			secTitle := fmt.Sprintf("%s(%s) %s", sec.Num, sec.ID, sec.Teacher)
+			if sec.Seats > 0 {
+				secTitle += fmt.Sprintf(" (Seats=%d, Open=%d, Waitlist=%d)", sec.Seats, sec.Open, sec.Waitlist)
+			}
+			fmt.Fprintf(&b, `<tr class="sec"><td>%s</td><td>%s %s %s</td></tr>
+`, xmlEscape(secTitle), sec.Days, sec.Time, sec.Room)
+		}
+		b.WriteString("</table></div>\n")
+	}
+	b.WriteString("</body></html>\n")
+	return b.String()
+}
+
+func orNone(s string) string {
+	if s == "" {
+		return "None"
+	}
+	return s
+}
+
+func umdWrapper() *tess.Config {
+	return &tess.Config{
+		Source: "umd",
+		Rules: []*tess.Rule{{
+			Name:   "Course",
+			Begin:  `<div class="course">`,
+			End:    `</div>`,
+			Repeat: true,
+			Rules: []*tess.Rule{
+				{Name: "CourseNum", Begin: `<b>`, End: `</b>`},
+				{Name: "CourseName", Begin: ``, End: `;`},
+				{Name: "Notes", Begin: `<i>`, End: `</i>`},
+				{
+					// The nested sections table: the TESS extension at work.
+					Name:   "Section",
+					Begin:  `<tr class="sec">`,
+					End:    `</tr>`,
+					Repeat: true,
+					Rules: []*tess.Rule{
+						{Name: "SectionTitle", Begin: `<td>`, End: `</td>`},
+						// Day, time and room share one element, so the room
+						// is only implicitly available (case 9).
+						{Name: "Time", Begin: `<td>`, End: `</td>`},
+					},
+				},
+			},
+		}},
+	}
+}

@@ -1,0 +1,116 @@
+package catalog
+
+import (
+	"fmt"
+	"strings"
+
+	"thalia/internal/hetero"
+	"thalia/internal/tess"
+)
+
+// University of Michigan: the reference schema for the virtual-columns
+// query. Its catalog carries an explicit "prerequisite" element whose value
+// is "None" for entry-level courses — information CMU only hints at inside
+// a free-text comment attached to the title (case 7).
+func init() {
+	courses := []Course{
+		{
+			Number:      "EECS484",
+			Title:       "Database Management Systems",
+			Instructors: []Instructor{{Name: "Jagadish"}},
+			Days:        "MW",
+			Start:       10*60 + 30,
+			End:         12 * 60,
+			Room:        "1013 DOW",
+			Credits:     4,
+			Prereq:      "None",
+		},
+		{
+			Number:      "EECS584",
+			Title:       "Advanced Database Systems",
+			Instructors: []Instructor{{Name: "Mozafari"}},
+			Days:        "TTh",
+			Start:       13*60 + 30,
+			End:         15 * 60,
+			Room:        "3150 DOW",
+			Credits:     4,
+			Prereq:      "EECS484",
+		},
+		{
+			Number:      "EECS381",
+			Title:       "Object-Oriented and Advanced Programming",
+			Instructors: []Instructor{{Name: "Kieras"}},
+			Days:        "MWF",
+			Start:       9 * 60,
+			End:         10 * 60,
+			Room:        "1500 EECS",
+			Credits:     4,
+			Prereq:      "EECS281",
+		},
+	}
+	for i, p := range poolSlice("umich", 10) {
+		pre := p.Prereq
+		if pre == "" {
+			pre = "None"
+		}
+		courses = append(courses, Course{
+			Number:      fmt.Sprintf("EECS%d", 200+p.Num),
+			Title:       p.Title,
+			Instructors: []Instructor{{Name: p.Surname}},
+			Days:        p.Days,
+			Start:       p.Start,
+			End:         p.End,
+			Room:        fmt.Sprintf("%d EECS", 1000+i*111),
+			Credits:     p.Credits,
+			Prereq:      pre,
+		})
+	}
+
+	register(&Source{
+		Name:       "umich",
+		University: "University of Michigan",
+		Country:    "USA",
+		Style:      `explicit "prerequisite" element ("None" for entry-level courses)`,
+		Exhibits:   []hetero.Case{hetero.VirtualColumns},
+		Courses:    courses,
+		RenderHTML: renderUmich,
+		Wrapper:    umichWrapper,
+	})
+}
+
+func renderUmich(s *Source) string {
+	var b strings.Builder
+	b.WriteString(`<html><head><title>UM EECS Course Guide</title></head><body>
+<h2>University of Michigan &mdash; EECS Course Guide</h2>
+<dl>
+`)
+	for i := range s.Courses {
+		c := &s.Courses[i]
+		fmt.Fprintf(&b, `<dt class="course">%s %s</dt>
+<dd>Prerequisite: <b>%s</b>. Instructor: %s. Meets %s %s-%s, %s. (%d credits)</dd>
+`, c.Number, xmlEscape(c.Title), xmlEscape(c.Prereq), xmlEscape(c.Instructors[0].Name),
+			c.Days, Clock12(c.Start), Clock12(c.End), xmlEscape(c.Room), c.Credits)
+	}
+	b.WriteString("</dl></body></html>\n")
+	return b.String()
+}
+
+func umichWrapper() *tess.Config {
+	return &tess.Config{
+		Source: "umich",
+		Rules: []*tess.Rule{{
+			Name:   "Course",
+			Begin:  `<dt class="course">`,
+			End:    `</dd>`,
+			Repeat: true,
+			Rules: []*tess.Rule{
+				{Name: "number", Begin: ``, End: ` `},
+				{Name: "title", Begin: ``, End: `</dt>`},
+				{Name: "prerequisite", Begin: `Prerequisite: <b>`, End: `</b>`},
+				{Name: "instructor", Begin: `Instructor: `, End: `\.`},
+				{Name: "meets", Begin: `Meets `, End: `\(`},
+				{Name: "credits", Begin: ``, End: ` credits\)`},
+			},
+		}},
+	}
+}

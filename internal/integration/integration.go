@@ -1,0 +1,196 @@
+// Package integration defines the contract between the THALIA benchmark and
+// an integration system under evaluation: the request/answer types, the
+// canonical result schema, and the integration-effort model that feeds the
+// paper's scoring function (Section 3.2).
+package integration
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"thalia/internal/xmldom"
+)
+
+// ErrUnsupported is returned by a system that cannot answer a benchmark
+// query without "large amounts of custom code" — the paper's phrase for the
+// queries Cohera and IWIZ decline (4, 5 and 8).
+var ErrUnsupported = errors.New("integration: query not supported without large amounts of custom code")
+
+// Effort is the amount of programmatic integration work a system invested
+// to answer one query. It mirrors the paper's per-query characterizations.
+type Effort int
+
+// Effort levels, in increasing order of custom code.
+const (
+	// EffortNone: handled entirely by declarative schema mappings.
+	EffortNone Effort = iota
+	// EffortSmall: a small amount of custom code (complexity low, 1 point).
+	EffortSmall
+	// EffortModerate: a moderate amount of custom code (complexity medium,
+	// 2 points).
+	EffortModerate
+	// EffortLarge: large amounts of custom code; the paper's systems
+	// decline such queries rather than answer them.
+	EffortLarge
+)
+
+// String names the effort level as the paper does.
+func (e Effort) String() string {
+	switch e {
+	case EffortNone:
+		return "no code"
+	case EffortSmall:
+		return "small amount of code"
+	case EffortModerate:
+		return "moderate amount of code"
+	case EffortLarge:
+		return "large amount of code"
+	default:
+		return fmt.Sprintf("Effort(%d)", int(e))
+	}
+}
+
+// Complexity converts an effort level to the scoring function's external-
+// function complexity points: low 1, medium 2, high 3; no code scores 0.
+func (e Effort) Complexity() int {
+	switch e {
+	case EffortSmall:
+		return 1
+	case EffortModerate:
+		return 2
+	case EffortLarge:
+		return 3
+	default:
+		return 0
+	}
+}
+
+// Request is one benchmark query posed to a system.
+type Request struct {
+	// QueryID is the benchmark query number, 1 through 12.
+	QueryID int
+	// XQuery is the benchmark query text (against the reference schema).
+	XQuery string
+	// Reference and Challenge are the two testbed source names involved.
+	Reference string
+	Challenge string
+}
+
+// FunctionUse records one external/user-defined function a system needed.
+type FunctionUse struct {
+	Name string
+	// Complexity is 1 (low), 2 (medium) or 3 (high).
+	Complexity int
+}
+
+// Answer is a system's integrated result for one request, shaped into the
+// benchmark's canonical result schema (see Row).
+type Answer struct {
+	// Rows are the integrated result rows.
+	Rows []Row
+	// Effort characterizes the programmatic work this query needed.
+	Effort Effort
+	// Functions lists the external functions invoked, for effort accounting.
+	Functions []FunctionUse
+}
+
+// Row is one canonical result row: field name → value. The field vocabulary
+// is fixed per query by the benchmark (e.g. "course", "title", "instructor");
+// "source" names the testbed source the row came from.
+type Row map[string]string
+
+// Key renders a row canonically (sorted fields) for set comparison.
+func (r Row) Key() string {
+	keys := make([]string, 0, len(r))
+	for k := range r {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, k+"="+r[k])
+	}
+	return strings.Join(parts, "|")
+}
+
+// System is an integration system that can be evaluated on the benchmark.
+type System interface {
+	// Name identifies the system in scorecards.
+	Name() string
+	// Description summarizes the system's architecture.
+	Description() string
+	// Answer attempts one benchmark query. Returning ErrUnsupported means
+	// the system declines the query (scores 0 points for it).
+	Answer(req Request) (*Answer, error)
+}
+
+// RowsToXML renders answer rows as an integrated XML document in the shape
+// the THALIA site's sample solutions use: <results q="N"><result
+// source="..."><field>value</field>...</result></results>.
+func RowsToXML(queryID int, rows []Row) *xmldom.Document {
+	root := xmldom.NewElement("results").SetAttr("q", fmt.Sprintf("%d", queryID))
+	for _, r := range rows {
+		el := xmldom.NewElement("result")
+		if src, ok := r["source"]; ok {
+			el.SetAttr("source", src)
+		}
+		keys := make([]string, 0, len(r))
+		for k := range r {
+			if k != "source" {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			el.Append(xmldom.NewElement(k).AppendText(r[k]))
+		}
+		root.Append(el)
+	}
+	return xmldom.NewDocument(root)
+}
+
+// RowsFromXML parses a document produced by RowsToXML back into rows.
+func RowsFromXML(doc *xmldom.Document) ([]Row, error) {
+	if doc == nil || doc.Root == nil || doc.Root.Name != "results" {
+		return nil, fmt.Errorf("integration: not a results document")
+	}
+	var rows []Row
+	for _, el := range doc.Root.ChildrenNamed("result") {
+		r := Row{}
+		if src, ok := el.Attr("source"); ok {
+			r["source"] = src
+		}
+		for _, c := range el.ChildElements() {
+			r[c.Name] = c.Text()
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// MatchRows compares two row multisets, ignoring order. It returns the rows
+// missing from got and the rows in got that were not expected.
+func MatchRows(want, got []Row) (missing, extra []Row) {
+	counts := map[string]int{}
+	byKey := map[string]Row{}
+	for _, r := range want {
+		counts[r.Key()]++
+		byKey[r.Key()] = r
+	}
+	for _, r := range got {
+		k := r.Key()
+		if counts[k] > 0 {
+			counts[k]--
+			continue
+		}
+		extra = append(extra, r)
+	}
+	for k, n := range counts {
+		for i := 0; i < n; i++ {
+			missing = append(missing, byKey[k])
+		}
+	}
+	return missing, extra
+}

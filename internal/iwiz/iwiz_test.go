@@ -1,0 +1,148 @@
+package iwiz
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"thalia/internal/integration"
+)
+
+func TestIdentity(t *testing.T) {
+	s := New()
+	if s.Name() != "IWIZ" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	if !strings.Contains(s.Description(), "warehouse") {
+		t.Errorf("Description = %q", s.Description())
+	}
+}
+
+func TestWarehouseBuild(t *testing.T) {
+	wh, err := BuildWarehouse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every spec'd source is materialized in the global schema.
+	for _, spec := range Specs() {
+		root, ok := wh[spec.Source]
+		if !ok {
+			t.Errorf("source %s missing from warehouse", spec.Source)
+			continue
+		}
+		if len(root.ChildrenNamed("Course")) == 0 {
+			t.Errorf("source %s has no global courses", spec.Source)
+		}
+	}
+	// ETH is deliberately absent: the 4GL cannot express its translation.
+	if _, ok := wh["eth"]; ok {
+		t.Error("eth should not be wrappable by the IWIZ 4GL")
+	}
+}
+
+func TestGlobalSchemaNormalizations(t *testing.T) {
+	wh, err := BuildWarehouse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CMU: set-valued Lecturer split into repeated Instructor elements.
+	var found bool
+	for _, c := range wh["cmu"].ChildrenNamed("Course") {
+		if c.ChildText("Number") != "15-712" {
+			continue
+		}
+		found = true
+		ins := c.ChildrenNamed("Instructor")
+		if len(ins) != 2 || ins[0].Text() != "Song" || ins[1].Text() != "Wing" {
+			t.Errorf("instructor split: %v", ins)
+		}
+		// Time canonicalized to 24h at build time.
+		if got := c.ChildText("Time"); got != "10:30-11:50" {
+			t.Errorf("time canonicalization: %q", got)
+		}
+	}
+	if !found {
+		t.Fatal("15-712 not in warehouse")
+	}
+
+	// Brown: composite Title/Time decomposed at build time.
+	for _, c := range wh["brown"].ChildrenNamed("Course") {
+		if c.ChildText("Number") != "CS168" {
+			continue
+		}
+		if c.ChildText("Title") != "Computer Networks" {
+			t.Errorf("brown title: %q", c.ChildText("Title"))
+		}
+		if c.ChildText("Day") != "M" || c.ChildText("Time") != "15:00-17:30" {
+			t.Errorf("brown day/time: %q %q", c.ChildText("Day"), c.ChildText("Time"))
+		}
+	}
+
+	// UMD: sections hoisted into per-course Instructor/Room elements.
+	for _, c := range wh["umd"].ChildrenNamed("Course") {
+		if c.ChildText("Number") != "CMSC435" {
+			continue
+		}
+		if got := len(c.ChildrenNamed("Instructor")); got != 2 {
+			t.Errorf("umd instructors = %d", got)
+		}
+		if got := len(c.ChildrenNamed("Room")); got != 2 {
+			t.Errorf("umd rooms = %d", got)
+		}
+	}
+
+	// Textbook status: missing values are explicitly marked.
+	for _, c := range wh["cmu"].ChildrenNamed("Course") {
+		if c.ChildText("Number") != "15-817" {
+			continue
+		}
+		tb := c.Child("Textbook")
+		if tb == nil || tb.AttrValue("status") != "missing" {
+			t.Errorf("missing textbook not marked: %v", tb)
+		}
+	}
+}
+
+func TestDeclinesHardQueries(t *testing.T) {
+	s := New()
+	for _, id := range []int{4, 5, 8} {
+		if _, err := s.Answer(integration.Request{QueryID: id}); !errors.Is(err, integration.ErrUnsupported) {
+			t.Errorf("query %d should be declined", id)
+		}
+	}
+	if _, err := s.Answer(integration.Request{QueryID: 0}); err == nil {
+		t.Error("expected error for unknown query")
+	}
+}
+
+func TestEverySupportedQueryNeedsCode(t *testing.T) {
+	s := New()
+	for _, id := range []int{1, 2, 3, 6, 7, 9, 10, 11, 12} {
+		ans, err := s.Answer(integration.Request{QueryID: id})
+		if err != nil {
+			t.Fatalf("query %d: %v", id, err)
+		}
+		if ans.Effort == integration.EffortNone {
+			t.Errorf("query %d: IWIZ always needs at least small custom code", id)
+		}
+		if len(ans.Functions) == 0 {
+			t.Errorf("query %d: no function accounting", id)
+		}
+		if len(ans.Rows) == 0 {
+			t.Errorf("query %d: empty answer", id)
+		}
+	}
+}
+
+func TestWarehouseIsReused(t *testing.T) {
+	s := New()
+	if _, err := s.Answer(integration.Request{QueryID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Answer(integration.Request{QueryID: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if s.rebuilds != 1 {
+		t.Errorf("warehouse built %d times, want 1 (queries answered from the warehouse)", s.rebuilds)
+	}
+}

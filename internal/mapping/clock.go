@@ -1,0 +1,138 @@
+// Package mapping is the local-to-global transformation library that
+// integration systems built on THALIA use to resolve the twelve
+// heterogeneities: clock conversions (case 2), union-type flattening
+// (case 3), workload/credit conversions (case 4), a German-English lexicon
+// (case 5), dual NULL semantics (cases 6 and 8), virtual-column inference
+// (case 7), structural relocation and set flattening (cases 9 and 10), and
+// composite-attribute decomposition (cases 11 and 12).
+//
+// Each transformation carries a declared complexity (low/medium/high) so
+// that the benchmark's scoring function can charge systems for the external
+// functions they invoke.
+package mapping
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Minutes is a time of day in minutes since midnight.
+type Minutes int
+
+// String renders the canonical 24-hour form, e.g. "13:30".
+func (m Minutes) String() string {
+	return fmt.Sprintf("%02d:%02d", int(m)/60, int(m)%60)
+}
+
+var clockRE = regexp.MustCompile(`^\s*(\d{1,2})(?::(\d{2}))?\s*(am|pm|AM|PM)?\s*$`)
+
+// ParseClock parses one clock value in any of the testbed's spellings:
+// "16:00" (24-hour), "1:30pm" (12-hour), "1:30" or "4" (bare 12-hour).
+// Bare values with no am/pm marker are disambiguated with the academic-day
+// heuristic: hours 8-11 are morning, hours 1-7 and 12 are afternoon —
+// courses do not meet before 08:00 or after 19:59.
+func ParseClock(s string) (Minutes, error) {
+	m := clockRE.FindStringSubmatch(s)
+	if m == nil {
+		return 0, fmt.Errorf("mapping: unparseable clock value %q", s)
+	}
+	h, err := strconv.Atoi(m[1])
+	if err != nil || h > 23 {
+		return 0, fmt.Errorf("mapping: bad hour in %q", s)
+	}
+	minute := 0
+	if m[2] != "" {
+		minute, err = strconv.Atoi(m[2])
+		if err != nil || minute > 59 {
+			return 0, fmt.Errorf("mapping: bad minute in %q", s)
+		}
+	}
+	switch strings.ToLower(m[3]) {
+	case "am":
+		if h == 12 {
+			h = 0
+		}
+	case "pm":
+		if h != 12 {
+			h += 12
+		}
+	default:
+		// Bare value: 24-hour if the hour is unambiguous (0 or 13-23),
+		// otherwise the academic-day heuristic.
+		if h <= 12 && h != 0 {
+			if h < 8 {
+				h += 12 // 1-7 means afternoon
+			} else if h == 12 {
+				// noon stays 12
+			}
+		}
+	}
+	return Minutes(h*60 + minute), nil
+}
+
+// To24Hour converts any testbed clock spelling to canonical "HH:MM".
+// This is the simple-mapping transformation of benchmark query 2.
+func To24Hour(s string) (string, error) {
+	m, err := ParseClock(s)
+	if err != nil {
+		return "", err
+	}
+	return m.String(), nil
+}
+
+// To12Hour converts any testbed clock spelling to "h:mmam"/"h:mmpm".
+func To12Hour(s string) (string, error) {
+	m, err := ParseClock(s)
+	if err != nil {
+		return "", err
+	}
+	h, mm := int(m)/60, int(m)%60
+	suffix := "am"
+	if h >= 12 {
+		suffix = "pm"
+	}
+	h12 := h % 12
+	if h12 == 0 {
+		h12 = 12
+	}
+	return fmt.Sprintf("%d:%02d%s", h12, mm, suffix), nil
+}
+
+var rangeSepRE = regexp.MustCompile(`\s*(?:-|–|—|to)\s*`)
+
+// ParseClockRange parses a meeting-time range like "1:30 - 2:50",
+// "16:00-17:15" or "3-5:30" into start and end minutes. When the end's
+// bare hour reads as earlier than the start (Brown's "3-5:30"), it is
+// shifted into the same afternoon.
+func ParseClockRange(s string) (start, end Minutes, err error) {
+	parts := rangeSepRE.Split(strings.TrimSpace(s), 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("mapping: not a time range: %q", s)
+	}
+	start, err = ParseClock(parts[0])
+	if err != nil {
+		return 0, 0, err
+	}
+	end, err = ParseClock(parts[1])
+	if err != nil {
+		return 0, 0, err
+	}
+	if end < start {
+		end += 12 * 60
+		if end >= 24*60 {
+			return 0, 0, fmt.Errorf("mapping: inverted time range %q", s)
+		}
+	}
+	return start, end, nil
+}
+
+// RangeTo24 converts any testbed range spelling to "HH:MM-HH:MM".
+func RangeTo24(s string) (string, error) {
+	start, end, err := ParseClockRange(s)
+	if err != nil {
+		return "", err
+	}
+	return start.String() + "-" + end.String(), nil
+}

@@ -1,0 +1,55 @@
+package mapping
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+)
+
+// Workload conversions for the complex-mapping heterogeneity (case 4): CMU
+// counts workload in "units" (a typical course is 12), US state schools in
+// semester credit hours (a typical course is 3-4), and ETH in the Swiss
+// "Umfang" notation "2V1U" — two Vorlesung (lecture) plus one Übung
+// (exercise) weekly hours. The paper stresses that such mappings are "not
+// always computable from first principles"; THALIA's sample solutions fix
+// the conventions below, which systems must adopt to score the point.
+
+// Umfang is ETH's parsed workload notation.
+type Umfang struct {
+	Lecture  int // V: weekly lecture hours
+	Exercise int // U: weekly exercise hours
+}
+
+var umfangRE = regexp.MustCompile(`^\s*(\d+)V(\d+)U\s*$`)
+
+// ParseUmfang parses notation like "2V1U".
+func ParseUmfang(s string) (Umfang, error) {
+	m := umfangRE.FindStringSubmatch(s)
+	if m == nil {
+		return Umfang{}, fmt.Errorf("mapping: unparseable Umfang %q", s)
+	}
+	v, _ := strconv.Atoi(m[1])
+	u, _ := strconv.Atoi(m[2])
+	return Umfang{Lecture: v, Exercise: u}, nil
+}
+
+// Units converts the workload to CMU-style units. THALIA's convention: each
+// weekly contact hour is worth four units (a 2V1U course ≈ a 12-unit CMU
+// course).
+func (u Umfang) Units() int { return (u.Lecture + u.Exercise) * 4 }
+
+// CreditHours converts the workload to US semester credit hours: one credit
+// hour per weekly contact hour.
+func (u Umfang) CreditHours() int { return u.Lecture + u.Exercise }
+
+// UnitsFromCreditHours converts US semester credit hours to CMU-style
+// units (three units per credit hour).
+func UnitsFromCreditHours(credits int) int { return credits * 3 }
+
+// CreditHoursFromUnits converts CMU units to US semester credit hours,
+// rounding down.
+func CreditHoursFromUnits(units int) int { return units / 3 }
+
+// UnitsFromSWS converts German Semesterwochenstunden to CMU-style units,
+// using the same four-units-per-contact-hour convention as Umfang.
+func UnitsFromSWS(sws int) int { return sws * 4 }

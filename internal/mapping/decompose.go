@@ -1,0 +1,179 @@
+package mapping
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+// Decompositions for the structural heterogeneities: Brown's composite
+// Title/Time column (cases 3 and 12), Maryland's section titles and
+// time-with-room values (cases 9 and 10), and Michigan/CMU prerequisite
+// inference (case 7).
+
+// BrownTitle is the decomposition of Brown's Title/Time column, e.g.
+// "Intro. to Software EngineeringK hr. T,Th 2:30-4".
+type BrownTitle struct {
+	Title      string
+	HourLetter string // Brown's scheduling-block letter, e.g. "K"
+	Days       string // source spelling, e.g. "T,Th"
+	Time       string // source spelling, e.g. "2:30-4"
+}
+
+var brownTitleRE = regexp.MustCompile(`^(.*?)([A-Z]) hr\. ([A-Za-z,]+) (\d[\d:.\-]*)$`)
+
+// DecomposeBrownTitle splits Brown's composite title column. Titles with no
+// schedule part ("hrs. arranged" courses) return only the title.
+func DecomposeBrownTitle(s string) BrownTitle {
+	s = strings.TrimSpace(s)
+	if i := strings.Index(s, "hrs. arranged"); i >= 0 {
+		return BrownTitle{Title: strings.TrimSpace(s[:i])}
+	}
+	m := brownTitleRE.FindStringSubmatch(s)
+	if m == nil {
+		return BrownTitle{Title: s}
+	}
+	return BrownTitle{
+		Title:      strings.TrimSpace(m[1]),
+		HourLetter: m[2],
+		Days:       m[3],
+		Time:       m[4],
+	}
+}
+
+// CanonicalDays normalizes day spellings ("T,Th", "Mo/Mi/Fr", "Di/Do") to
+// the canonical compact form ("TTh", "MWF", "TTh").
+func CanonicalDays(s string) string {
+	s = strings.TrimSpace(s)
+	german := map[string]string{"Mo": "M", "Di": "T", "Mi": "W", "Do": "Th", "Fr": "F"}
+	if strings.ContainsAny(s, "/") || looksGermanDays(s) {
+		var b strings.Builder
+		for _, part := range strings.Split(s, "/") {
+			if en, ok := german[strings.TrimSpace(part)]; ok {
+				b.WriteString(en)
+			} else {
+				b.WriteString(strings.TrimSpace(part))
+			}
+		}
+		return b.String()
+	}
+	return strings.ReplaceAll(s, ",", "")
+}
+
+func looksGermanDays(s string) bool {
+	switch s {
+	case "Mo", "Di", "Mi", "Do", "Fr", "Sa", "So":
+		return true
+	}
+	return false
+}
+
+// UMDSection is the decomposition of Maryland's section-title values, e.g.
+// "0201(13796) Memon, A. (Seats=40, Open=2, Waitlist=0)".
+type UMDSection struct {
+	Num      string // "0201"
+	ID       string // "13796"
+	Teacher  string // "Memon, A."
+	Seats    int
+	Open     int
+	Waitlist int
+	HasSeats bool
+}
+
+var umdSectionRE = regexp.MustCompile(`^(\d+)\((\d+)\)\s*([^(]*?)\s*(?:\(Seats=(\d+), Open=(\d+), Waitlist=(\d+)\))?$`)
+
+// ParseUMDSection parses a Maryland section title. This is the "extract the
+// name part from all of the section titles" work that query 10's challenge
+// calls out.
+func ParseUMDSection(s string) (UMDSection, error) {
+	m := umdSectionRE.FindStringSubmatch(strings.TrimSpace(s))
+	if m == nil {
+		return UMDSection{}, fmt.Errorf("mapping: unparseable UMD section %q", s)
+	}
+	sec := UMDSection{Num: m[1], ID: m[2], Teacher: strings.TrimSpace(m[3])}
+	if m[4] != "" {
+		sec.HasSeats = true
+		fmt.Sscanf(m[4], "%d", &sec.Seats)
+		fmt.Sscanf(m[5], "%d", &sec.Open)
+		fmt.Sscanf(m[6], "%d", &sec.Waitlist)
+	}
+	return sec, nil
+}
+
+// UMDTime is the decomposition of Maryland's Time values, which carry days,
+// meeting time and room in one string: "MWF 10:00am KEY0106" (case 9).
+type UMDTime struct {
+	Days string
+	Time string
+	Room string
+}
+
+var umdTimeRE = regexp.MustCompile(`^([A-Za-z]+)\s+([\d:apm]+)\s+(\S+)$`)
+
+// ParseUMDTime splits a Maryland Time value into days, time and room.
+func ParseUMDTime(s string) (UMDTime, error) {
+	m := umdTimeRE.FindStringSubmatch(strings.TrimSpace(s))
+	if m == nil {
+		return UMDTime{}, fmt.Errorf("mapping: unparseable UMD time %q", s)
+	}
+	return UMDTime{Days: m[1], Time: m[2], Room: m[3]}, nil
+}
+
+// entryLevelMarkers are comment phrasings that imply a course has no
+// prerequisite — the virtual-column inference of case 7.
+var entryLevelMarkers = []string{
+	"first course in sequence",
+	"no prerequisite",
+	"no prior experience",
+	"open to all students",
+	"entry-level",
+	"introductory course",
+}
+
+// InferEntryLevel decides whether a course is entry-level from explicit
+// prerequisite information and/or a free-text comment. An explicit
+// prerequisite value wins; otherwise the comment is scanned for the
+// conventional phrasings.
+func InferEntryLevel(prereq, comment string) bool {
+	switch strings.ToLower(strings.TrimSpace(prereq)) {
+	case "none", "keine":
+		return true
+	case "":
+		// fall through to the comment
+	default:
+		return false
+	}
+	lc := strings.ToLower(comment)
+	for _, marker := range entryLevelMarkers {
+		if strings.Contains(lc, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// classRE matches US student-classification codes in restriction values.
+var classRE = regexp.MustCompile(`\b(FR|SO|JR|SR|GR)\b`)
+
+// Classifications extracts the US student-classification codes from a
+// restrictions value like "JR or SR". The concept does not exist at
+// European universities (case 8) — callers must distinguish an empty result
+// on a US source (no restriction) from the attribute being inapplicable.
+func Classifications(restrictions string) []string {
+	return classRE.FindAllString(restrictions, -1)
+}
+
+// OpenTo reports whether a restrictions value admits the given
+// classification code; an unrestricted course admits everyone.
+func OpenTo(restrictions, code string) bool {
+	classes := Classifications(restrictions)
+	if len(classes) == 0 {
+		return true
+	}
+	for _, c := range classes {
+		if c == code {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,75 @@
+package mapping
+
+// Dual NULL semantics. The paper's query 8 challenge: "one must support
+// more than one kind of NULL. Specifically, one must distinguish 'data
+// missing but could be present' (case 6) from 'data missing and cannot be
+// present' (case 8)." Systems with a single NULL (Postgres, and hence
+// Cohera) cannot answer query 8 intelligently.
+
+// NullKind distinguishes the two flavors of missing data.
+type NullKind int
+
+// The flavors of NULL, plus NotNull for present values.
+const (
+	// NotNull marks a present value.
+	NotNull NullKind = iota
+	// NullMissing: the value could exist but was not provided (case 6 —
+	// a course that simply lists no textbook).
+	NullMissing
+	// NullInapplicable: the concept does not exist in this schema's world
+	// (case 8 — student classification at a European university).
+	NullInapplicable
+)
+
+// String renders the kind for result rows and debugging.
+func (k NullKind) String() string {
+	switch k {
+	case NotNull:
+		return "present"
+	case NullMissing:
+		return "missing"
+	case NullInapplicable:
+		return "inapplicable"
+	default:
+		return "unknown"
+	}
+}
+
+// Marker is the canonical textual representation of each NULL flavor in
+// THALIA's sample solutions: missing data is an empty value; inapplicable
+// data is the explicit marker below, so that a result consumer can tell the
+// two apart (the paper: returning a plain NULL for ETH "is quite
+// misleading").
+func (k NullKind) Marker() string {
+	switch k {
+	case NullMissing:
+		return ""
+	case NullInapplicable:
+		return "(not applicable)"
+	default:
+		return ""
+	}
+}
+
+// Value is a string value annotated with its NULL flavor.
+type Value struct {
+	Kind NullKind
+	Str  string
+}
+
+// Present wraps a present value.
+func Present(s string) Value { return Value{Kind: NotNull, Str: s} }
+
+// Missing is the case-6 NULL.
+func Missing() Value { return Value{Kind: NullMissing} }
+
+// Inapplicable is the case-8 NULL.
+func Inapplicable() Value { return Value{Kind: NullInapplicable} }
+
+// Marker renders the value for a canonical result row.
+func (v Value) Marker() string {
+	if v.Kind == NotNull {
+		return v.Str
+	}
+	return v.Kind.Marker()
+}

@@ -1,0 +1,150 @@
+package mapping
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Transform is a named value transformation with a declared complexity,
+// matching the paper's scoring function: every external function an
+// integration system needs is scored low (1), medium (2) or high (3).
+type Transform struct {
+	Name string
+	// Complexity: 1 low, 2 medium, 3 high.
+	Complexity int
+	// Doc explains what the transformation resolves.
+	Doc string
+	// Fn maps a source value to a global-schema value.
+	Fn func(string) (string, error)
+}
+
+// Registry holds the transformation catalog keyed by name.
+type Registry struct {
+	byName map[string]*Transform
+}
+
+// NewRegistry returns a registry preloaded with THALIA's standard
+// transformation catalog.
+func NewRegistry() *Registry {
+	r := &Registry{byName: map[string]*Transform{}}
+	lex := NewGermanLexicon()
+	for _, t := range []*Transform{
+		{
+			Name: "to24h", Complexity: 1,
+			Doc: "convert any clock spelling to the canonical 24-hour form (case 2)",
+			Fn:  To24Hour,
+		},
+		{
+			Name: "range_to_24h", Complexity: 1,
+			Doc: "convert a meeting-time range to canonical 24-hour form (case 2)",
+			Fn:  RangeTo24,
+		},
+		{
+			Name: "flatten_union", Complexity: 2,
+			Doc: "flatten a string-plus-link union value to its visible text (case 3)",
+			Fn: func(s string) (string, error) {
+				// Union flattening happens at the node level in practice;
+				// string level it is the identity on the visible text.
+				return strings.TrimSpace(s), nil
+			},
+		},
+		{
+			Name: "umfang_to_units", Complexity: 3,
+			Doc: "convert ETH Umfang notation to CMU-style units (case 4)",
+			Fn: func(s string) (string, error) {
+				u, err := ParseUmfang(s)
+				if err != nil {
+					return "", err
+				}
+				return fmt.Sprintf("%d", u.Units()), nil
+			},
+		},
+		{
+			Name: "translate_de_en", Complexity: 3,
+			Doc: "translate a German schema term or value word to English (case 5)",
+			Fn: func(s string) (string, error) {
+				if en, ok := lex.ToEnglish(s); ok {
+					return en, nil
+				}
+				return s, nil
+			},
+		},
+		{
+			Name: "null_marker", Complexity: 2,
+			Doc: "render missing data explicitly in the integrated result (case 6)",
+			Fn: func(s string) (string, error) {
+				if strings.TrimSpace(s) == "" {
+					return NullMissing.Marker(), nil
+				}
+				return s, nil
+			},
+		},
+		{
+			Name: "infer_prereq", Complexity: 2,
+			Doc: "infer entry-level status from a free-text comment (case 7)",
+			Fn: func(s string) (string, error) {
+				if InferEntryLevel("", s) {
+					return "None", nil
+				}
+				return s, nil
+			},
+		},
+		{
+			Name: "dual_null", Complexity: 3,
+			Doc: "distinguish missing from inapplicable data (case 8)",
+			Fn: func(s string) (string, error) {
+				return Inapplicable().Marker(), nil
+			},
+		},
+		{
+			Name: "umd_time_room", Complexity: 1,
+			Doc: "extract the room from Maryland's composite Time value (case 9)",
+			Fn: func(s string) (string, error) {
+				t, err := ParseUMDTime(s)
+				if err != nil {
+					return "", err
+				}
+				return t.Room, nil
+			},
+		},
+		{
+			Name: "umd_section_teacher", Complexity: 2,
+			Doc: "extract the instructor name from a Maryland section title (case 10)",
+			Fn: func(s string) (string, error) {
+				sec, err := ParseUMDSection(s)
+				if err != nil {
+					return "", err
+				}
+				return sec.Teacher, nil
+			},
+		},
+		{
+			Name: "decompose_brown_title", Complexity: 2,
+			Doc: "split Brown's composite Title/Time column into its title part (case 12)",
+			Fn: func(s string) (string, error) {
+				return DecomposeBrownTitle(s).Title, nil
+			},
+		},
+	} {
+		r.byName[t.Name] = t
+	}
+	return r
+}
+
+// Get returns the named transformation.
+func (r *Registry) Get(name string) (*Transform, error) {
+	t, ok := r.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("mapping: no transform %q", name)
+	}
+	return t, nil
+}
+
+// Names returns the registered transform names (unsorted).
+func (r *Registry) Names() []string {
+	out := make([]string, 0, len(r.byName))
+	for n := range r.byName {
+		out = append(out, n)
+	}
+	return out
+}

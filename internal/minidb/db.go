@@ -1,0 +1,182 @@
+package minidb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Table is an in-memory relation: named columns and rows of values.
+type Table struct {
+	Name    string
+	Columns []string
+	Rows    [][]Value
+
+	colIdx map[string]int
+}
+
+// NewTable creates an empty table with the given columns.
+func NewTable(name string, columns ...string) *Table {
+	t := &Table{Name: name, Columns: columns, colIdx: map[string]int{}}
+	for i, c := range columns {
+		t.colIdx[strings.ToLower(c)] = i
+	}
+	return t
+}
+
+// Insert appends one row; the value count must match the column count.
+func (t *Table) Insert(vals ...Value) error {
+	if len(vals) != len(t.Columns) {
+		return fmt.Errorf("minidb: table %s has %d columns, got %d values", t.Name, len(t.Columns), len(vals))
+	}
+	t.Rows = append(t.Rows, vals)
+	return nil
+}
+
+// ColumnIndex finds a column by case-insensitive name; -1 if absent.
+func (t *Table) ColumnIndex(name string) int {
+	if i, ok := t.colIdx[strings.ToLower(name)]; ok {
+		return i
+	}
+	return -1
+}
+
+// Func is a user-defined function — the minidb counterpart of Cohera's
+// C-language UDFs. Complexity is the THALIA scoring weight the function's
+// author declares (1 low, 2 medium, 3 high).
+type Func struct {
+	Name       string
+	Complexity int
+	Fn         func(args []Value) (Value, error)
+}
+
+// DB is a database: tables, views, and registered functions.
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+	views  map[string]*SelectStmt
+	funcs  map[string]*Func
+	// Called tallies UDF invocations by name, feeding THALIA's
+	// integration-effort accounting.
+	Called map[string]int
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB {
+	return &DB{
+		tables: map[string]*Table{},
+		views:  map[string]*SelectStmt{},
+		funcs:  map[string]*Func{},
+		Called: map[string]int{},
+	}
+}
+
+// CreateTable registers a table; an existing table of the same name is
+// replaced.
+func (db *DB) CreateTable(t *Table) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.tables[strings.ToLower(t.Name)] = t
+}
+
+// Table returns the named base table.
+func (db *DB) Table(name string) (*Table, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("minidb: no table %q", name)
+	}
+	return t, nil
+}
+
+// CreateView registers a named view over a SELECT statement — the mechanism
+// Cohera used for local-to-global schema mappings.
+func (db *DB) CreateView(name, query string) error {
+	stmt, err := ParseSelect(query)
+	if err != nil {
+		return fmt.Errorf("minidb: view %s: %w", name, err)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.views[strings.ToLower(name)] = stmt
+	return nil
+}
+
+// Register adds a user-defined function.
+func (db *DB) Register(f *Func) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.funcs[strings.ToLower(f.Name)] = f
+}
+
+// Functions returns the registered UDFs keyed by lower-case name.
+func (db *DB) Functions() map[string]*Func {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make(map[string]*Func, len(db.funcs))
+	for k, v := range db.funcs {
+		out[k] = v
+	}
+	return out
+}
+
+// TableNames returns the sorted names of base tables and views.
+func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var names []string
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	for n := range db.views {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// maxViewDepth bounds view-over-view nesting, so a cyclic view definition
+// (a view referencing itself, directly or indirectly) fails with a clear
+// error instead of recursing forever.
+const maxViewDepth = 32
+
+// resolve returns the rows and columns behind a table or view name.
+func (db *DB) resolve(name string, depth int) (*Table, error) {
+	if depth > maxViewDepth {
+		return nil, fmt.Errorf("minidb: view nesting deeper than %d (cyclic view definition?) at %q", maxViewDepth, name)
+	}
+	db.mu.RLock()
+	t, isTable := db.tables[strings.ToLower(name)]
+	v, isView := db.views[strings.ToLower(name)]
+	db.mu.RUnlock()
+	if isTable {
+		return t, nil
+	}
+	if isView {
+		res, err := db.execSelect(v, depth+1)
+		if err != nil {
+			return nil, fmt.Errorf("minidb: view %s: %w", name, err)
+		}
+		vt := NewTable(name, res.Columns...)
+		vt.Rows = res.Rows
+		return vt, nil
+	}
+	return nil, fmt.Errorf("minidb: no table or view %q", name)
+}
+
+// Result is the outcome of a query.
+type Result struct {
+	Columns []string
+	Rows    [][]Value
+}
+
+// Query parses and executes a SELECT statement.
+func (db *DB) Query(sql string) (*Result, error) {
+	stmt, err := ParseSelect(sql)
+	if err != nil {
+		return nil, err
+	}
+	return db.execSelect(stmt, 0)
+}

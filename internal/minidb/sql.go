@@ -1,0 +1,574 @@
+package minidb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// The SQL subset:
+//
+//	SELECT [DISTINCT] exprs FROM table [alias] (, table [alias])*
+//	  [WHERE expr] [ORDER BY expr [ASC|DESC]]
+//
+// with expressions over column references (name or alias.name), string and
+// numeric literals, NULL, comparison operators (= <> != < <= > >=), LIKE,
+// IS [NOT] NULL, NOT/AND/OR, + - * /, string concatenation ||, and function
+// calls dispatching to builtins or registered UDFs.
+
+// SelectStmt is a parsed SELECT.
+type SelectStmt struct {
+	Distinct bool
+	// Items are the projection expressions; a single starItem means "*".
+	Items []SelectItem
+	From  []TableRef
+	Where SQLExpr
+	Order *OrderBy
+}
+
+// SelectItem is one projection with an optional alias.
+type SelectItem struct {
+	Expr SQLExpr
+	As   string
+	Star bool
+}
+
+// TableRef is a FROM entry.
+type TableRef struct {
+	Table string
+	Alias string
+}
+
+// OrderBy sorts the result.
+type OrderBy struct {
+	Expr SQLExpr
+	Desc bool
+}
+
+// SQLExpr is a parsed SQL expression.
+type SQLExpr interface{ sqlExpr() }
+
+// ColRef references a column, optionally qualified by table alias.
+type ColRef struct{ Table, Column string }
+
+// SQLLit is a literal value.
+type SQLLit struct{ Val Value }
+
+// SQLBinary is a binary operation.
+type SQLBinary struct {
+	Op   string // = <> < <= > >= LIKE AND OR + - * / ||
+	L, R SQLExpr
+}
+
+// SQLUnary is NOT or numeric negation.
+type SQLUnary struct {
+	Op string // NOT, -
+	X  SQLExpr
+}
+
+// SQLIsNull is IS NULL / IS NOT NULL.
+type SQLIsNull struct {
+	X   SQLExpr
+	Not bool
+}
+
+// SQLCall is a function call.
+type SQLCall struct {
+	Name string
+	Args []SQLExpr
+}
+
+func (*ColRef) sqlExpr()    {}
+func (*SQLLit) sqlExpr()    {}
+func (*SQLBinary) sqlExpr() {}
+func (*SQLUnary) sqlExpr()  {}
+func (*SQLIsNull) sqlExpr() {}
+func (*SQLCall) sqlExpr()   {}
+
+// sqlToken kinds.
+type sqlTokKind int
+
+const (
+	sqlEOF sqlTokKind = iota
+	sqlWord
+	sqlString
+	sqlNumber
+	sqlOp
+)
+
+type sqlToken struct {
+	kind sqlTokKind
+	text string
+	pos  int
+}
+
+type sqlLexer struct {
+	src string
+	pos int
+}
+
+func (l *sqlLexer) next() (sqlToken, error) {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return sqlToken{kind: sqlEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case c == '\'':
+		l.pos++
+		var b strings.Builder
+		for l.pos < len(l.src) {
+			if l.src[l.pos] == '\'' {
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+					b.WriteByte('\'')
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				return sqlToken{kind: sqlString, text: b.String(), pos: start}, nil
+			}
+			b.WriteByte(l.src[l.pos])
+			l.pos++
+		}
+		return sqlToken{}, fmt.Errorf("minidb: unterminated string at %d", start)
+	case unicode.IsDigit(rune(c)):
+		for l.pos < len(l.src) && (unicode.IsDigit(rune(l.src[l.pos])) || l.src[l.pos] == '.') {
+			l.pos++
+		}
+		return sqlToken{kind: sqlNumber, text: l.src[start:l.pos], pos: start}, nil
+	case c == '_' || unicode.IsLetter(rune(c)):
+		for l.pos < len(l.src) && (l.src[l.pos] == '_' || l.src[l.pos] == '$' ||
+			unicode.IsLetter(rune(l.src[l.pos])) || unicode.IsDigit(rune(l.src[l.pos]))) {
+			l.pos++
+		}
+		return sqlToken{kind: sqlWord, text: l.src[start:l.pos], pos: start}, nil
+	default:
+		for _, two := range []string{"<>", "!=", "<=", ">=", "||"} {
+			if strings.HasPrefix(l.src[l.pos:], two) {
+				l.pos += 2
+				return sqlToken{kind: sqlOp, text: two, pos: start}, nil
+			}
+		}
+		switch c {
+		case '=', '<', '>', '(', ')', ',', '+', '-', '*', '/', '.':
+			l.pos++
+			return sqlToken{kind: sqlOp, text: string(c), pos: start}, nil
+		}
+		return sqlToken{}, fmt.Errorf("minidb: unexpected character %q at %d", c, start)
+	}
+}
+
+type sqlParser struct {
+	lex *sqlLexer
+	tok sqlToken
+}
+
+// ParseSelect parses a SELECT statement.
+func ParseSelect(sql string) (*SelectStmt, error) {
+	p := &sqlParser{lex: &sqlLexer{src: sql}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != sqlEOF {
+		return nil, fmt.Errorf("minidb: unexpected %q after statement", p.tok.text)
+	}
+	return stmt, nil
+}
+
+func (p *sqlParser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *sqlParser) isWord(w string) bool {
+	return p.tok.kind == sqlWord && strings.EqualFold(p.tok.text, w)
+}
+
+func (p *sqlParser) expectWord(w string) error {
+	if !p.isWord(w) {
+		return fmt.Errorf("minidb: expected %s, found %q", w, p.tok.text)
+	}
+	return p.advance()
+}
+
+func (p *sqlParser) isOp(op string) bool {
+	return p.tok.kind == sqlOp && p.tok.text == op
+}
+
+func (p *sqlParser) expectOp(op string) error {
+	if !p.isOp(op) {
+		return fmt.Errorf("minidb: expected %q, found %q", op, p.tok.text)
+	}
+	return p.advance()
+}
+
+func (p *sqlParser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectWord("SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{}
+	if p.isWord("DISTINCT") {
+		stmt.Distinct = true
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	for {
+		if p.isOp("*") {
+			stmt.Items = append(stmt.Items, SelectItem{Star: true})
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		} else {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := SelectItem{Expr: e}
+			if p.isWord("AS") {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				if p.tok.kind != sqlWord {
+					return nil, fmt.Errorf("minidb: expected alias after AS, found %q", p.tok.text)
+				}
+				item.As = p.tok.text
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			}
+			stmt.Items = append(stmt.Items, item)
+		}
+		if !p.isOp(",") {
+			break
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectWord("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		if p.tok.kind != sqlWord {
+			return nil, fmt.Errorf("minidb: expected table name, found %q", p.tok.text)
+		}
+		ref := TableRef{Table: p.tok.text}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind == sqlWord && !p.isReserved() {
+			ref.Alias = p.tok.text
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+		stmt.From = append(stmt.From, ref)
+		if !p.isOp(",") {
+			break
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if p.isWord("WHERE") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = e
+	}
+	if p.isWord("ORDER") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectWord("BY"); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		ob := &OrderBy{Expr: e}
+		if p.isWord("DESC") {
+			ob.Desc = true
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		} else if p.isWord("ASC") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+		stmt.Order = ob
+	}
+	return stmt, nil
+}
+
+// isReserved reports whether the current word token is a clause keyword and
+// therefore cannot be a table alias.
+func (p *sqlParser) isReserved() bool {
+	for _, w := range []string{"WHERE", "ORDER", "FROM", "AS", "AND", "OR", "ON", "GROUP"} {
+		if strings.EqualFold(p.tok.text, w) {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *sqlParser) parseExpr() (SQLExpr, error) { return p.parseOr() }
+
+func (p *sqlParser) parseOr() (SQLExpr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.isWord("OR") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &SQLBinary{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *sqlParser) parseAnd() (SQLExpr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.isWord("AND") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &SQLBinary{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *sqlParser) parseNot() (SQLExpr, error) {
+	if p.isWord("NOT") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &SQLUnary{Op: "NOT", X: x}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *sqlParser) parseComparison() (SQLExpr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	if p.isWord("IS") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		not := false
+		if p.isWord("NOT") {
+			not = true
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expectWord("NULL"); err != nil {
+			return nil, err
+		}
+		return &SQLIsNull{X: l, Not: not}, nil
+	}
+	if p.isWord("LIKE") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &SQLBinary{Op: "LIKE", L: l, R: r}, nil
+	}
+	for _, op := range []string{"=", "<>", "!=", "<=", ">=", "<", ">"} {
+		if p.isOp(op) {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			norm := op
+			if norm == "!=" {
+				norm = "<>"
+			}
+			return &SQLBinary{Op: norm, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *sqlParser) parseAdditive() (SQLExpr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for p.isOp("+") || p.isOp("-") || p.isOp("||") {
+		op := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = &SQLBinary{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *sqlParser) parseMultiplicative() (SQLExpr, error) {
+	l, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.isOp("*") || p.isOp("/") {
+		op := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		l = &SQLBinary{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *sqlParser) parsePrimary() (SQLExpr, error) {
+	switch p.tok.kind {
+	case sqlString:
+		v := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &SQLLit{Val: Text(v)}, nil
+	case sqlNumber:
+		n, err := strconv.ParseFloat(p.tok.text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("minidb: bad number %q", p.tok.text)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &SQLLit{Val: Number(n)}, nil
+	case sqlWord:
+		if p.isWord("NULL") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			return &SQLLit{Val: Null}, nil
+		}
+		if p.isWord("TRUE") || p.isWord("FALSE") {
+			b := p.isWord("TRUE")
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			return &SQLLit{Val: Bool(b)}, nil
+		}
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.isOp("(") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			call := &SQLCall{Name: strings.ToLower(name)}
+			if !p.isOp(")") {
+				for {
+					arg, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, arg)
+					if !p.isOp(",") {
+						break
+					}
+					if err := p.advance(); err != nil {
+						return nil, err
+					}
+				}
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		if p.isOp(".") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if p.tok.kind != sqlWord {
+				return nil, fmt.Errorf("minidb: expected column after %q.", name)
+			}
+			col := p.tok.text
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			return &ColRef{Table: name, Column: col}, nil
+		}
+		return &ColRef{Column: name}, nil
+	case sqlOp:
+		switch p.tok.text {
+		case "(":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		case "-":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			x, err := p.parsePrimary()
+			if err != nil {
+				return nil, err
+			}
+			return &SQLUnary{Op: "-", X: x}, nil
+		}
+	}
+	return nil, fmt.Errorf("minidb: unexpected token %q", p.tok.text)
+}

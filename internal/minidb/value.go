@@ -1,0 +1,180 @@
+// Package minidb is a small in-memory relational engine: typed tables, a
+// SQL subset (SELECT with joins, WHERE, ORDER BY, DISTINCT, LIKE, IS NULL),
+// views, and registered user-defined functions.
+//
+// It exists to model the Cohera federated DBMS the paper evaluates: Cohera
+// shredded wrapped web sources into relations, let users define local-to-
+// global schema mappings as views "with the power of Postgres", and write
+// user-defined functions in C for value transformations. minidb gives the
+// reproduction's Cohera adapter exactly those capabilities — including
+// Postgres's single-flavor NULL, which is why Cohera cannot answer
+// benchmark query 8 (dual NULL semantics).
+package minidb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ValueKind discriminates SQL values.
+type ValueKind int
+
+// Value kinds. There is deliberately exactly one NULL.
+const (
+	KindNull ValueKind = iota
+	KindText
+	KindNumber
+	KindBool
+)
+
+// Value is one SQL value.
+type Value struct {
+	Kind ValueKind
+	S    string
+	N    float64
+	B    bool
+}
+
+// Null is the SQL NULL.
+var Null = Value{Kind: KindNull}
+
+// Text wraps a string value.
+func Text(s string) Value { return Value{Kind: KindText, S: s} }
+
+// Number wraps a numeric value.
+func Number(n float64) Value { return Value{Kind: KindNumber, N: n} }
+
+// Bool wraps a boolean value.
+func Bool(b bool) Value { return Value{Kind: KindBool, B: b} }
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.Kind == KindNull }
+
+// String renders the value for result display; NULL renders as "NULL".
+func (v Value) String() string {
+	switch v.Kind {
+	case KindNull:
+		return "NULL"
+	case KindText:
+		return v.S
+	case KindNumber:
+		if v.N == float64(int64(v.N)) {
+			return strconv.FormatInt(int64(v.N), 10)
+		}
+		return strconv.FormatFloat(v.N, 'g', -1, 64)
+	case KindBool:
+		if v.B {
+			return "true"
+		}
+		return "false"
+	default:
+		return fmt.Sprintf("Value(%d)", int(v.Kind))
+	}
+}
+
+// AsNumber coerces the value to a number if possible.
+func (v Value) AsNumber() (float64, bool) {
+	switch v.Kind {
+	case KindNumber:
+		return v.N, true
+	case KindText:
+		n, err := strconv.ParseFloat(strings.TrimSpace(v.S), 64)
+		if err != nil {
+			return 0, false
+		}
+		return n, true
+	case KindBool:
+		if v.B {
+			return 1, true
+		}
+		return 0, true
+	default:
+		return 0, false
+	}
+}
+
+// AsBool computes SQL truthiness; NULL is false.
+func (v Value) AsBool() bool {
+	switch v.Kind {
+	case KindBool:
+		return v.B
+	case KindNumber:
+		return v.N != 0
+	case KindText:
+		return v.S != ""
+	default:
+		return false
+	}
+}
+
+// Compare orders two non-NULL values: numeric when both coerce to numbers,
+// else lexicographic. It reports -1, 0 or 1. Comparisons involving NULL are
+// handled by the caller (they yield NULL/false in SQL).
+func Compare(a, b Value) int {
+	// Numeric comparison when at least one side is genuinely numeric and
+	// the other coerces; two text values compare as text even if digit-like.
+	if a.Kind == KindNumber || b.Kind == KindNumber {
+		an, aok := a.AsNumber()
+		bn, bok := b.AsNumber()
+		if aok && bok {
+			switch {
+			case an < bn:
+				return -1
+			case an > bn:
+				return 1
+			default:
+				return 0
+			}
+		}
+	}
+	as, bs := a.String(), b.String()
+	switch {
+	case as < bs:
+		return -1
+	case as > bs:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Like evaluates a SQL LIKE pattern: '%' matches any run, '_' one character.
+func Like(value, pattern string) bool {
+	return likeMatch(value, pattern)
+}
+
+func likeMatch(v, p string) bool {
+	// Dynamic programming over the pattern.
+	for {
+		if p == "" {
+			return v == ""
+		}
+		switch p[0] {
+		case '%':
+			// Collapse consecutive wildcards.
+			for p != "" && p[0] == '%' {
+				p = p[1:]
+			}
+			if p == "" {
+				return true
+			}
+			for i := 0; i <= len(v); i++ {
+				if likeMatch(v[i:], p) {
+					return true
+				}
+			}
+			return false
+		case '_':
+			if v == "" {
+				return false
+			}
+			v, p = v[1:], p[1:]
+		default:
+			if v == "" || v[0] != p[0] {
+				return false
+			}
+			v, p = v[1:], p[1:]
+		}
+	}
+}

@@ -1,0 +1,232 @@
+package rewrite
+
+import (
+	"fmt"
+	"strings"
+
+	"thalia/internal/mapping"
+	"thalia/internal/xmldom"
+)
+
+// standardTransforms is the element-level transform catalog the built-in
+// mapping tables use. Complexities follow the THALIA scoring convention
+// (0 plain copy, 1 low, 2 medium, 3 high).
+func standardTransforms() []*Transform {
+	one := func(v string) []string { return []string{v} }
+	return []*Transform{
+		{
+			Name: "title-text", Complexity: 0,
+			// Direct text only: excludes a comment nested in the title.
+			Fn: func(el *xmldom.Element) ([]string, error) { return one(el.Text()), nil },
+		},
+		{
+			Name: "range24", Complexity: 1,
+			Fn: func(el *xmldom.Element) ([]string, error) {
+				v, err := mapping.RangeTo24(el.Text())
+				if err != nil {
+					return nil, err
+				}
+				return one(v), nil
+			},
+		},
+		{
+			Name: "split-slash", Complexity: 1,
+			Fn: func(el *xmldom.Element) ([]string, error) {
+				var out []string
+				for _, p := range strings.Split(el.Text(), "/") {
+					if p = strings.TrimSpace(p); p != "" {
+						out = append(out, p)
+					}
+				}
+				return out, nil
+			},
+		},
+		{
+			Name: "brown-title", Complexity: 2,
+			Fn: func(el *xmldom.Element) ([]string, error) {
+				if a := el.Child("a"); a != nil {
+					return one(a.Text()), nil
+				}
+				return one(mapping.DecomposeBrownTitle(el.DeepText()).Title), nil
+			},
+		},
+		{
+			Name: "brown-day", Complexity: 2,
+			Fn: func(el *xmldom.Element) ([]string, error) {
+				bt := mapping.DecomposeBrownTitle(el.DeepText())
+				if bt.Days == "" {
+					return nil, nil
+				}
+				return one(mapping.CanonicalDays(bt.Days)), nil
+			},
+		},
+		{
+			Name: "brown-time", Complexity: 2,
+			Fn: func(el *xmldom.Element) ([]string, error) {
+				bt := mapping.DecomposeBrownTitle(el.DeepText())
+				if bt.Time == "" {
+					return nil, nil
+				}
+				v, err := mapping.RangeTo24(bt.Time)
+				if err != nil {
+					return nil, err
+				}
+				return one(v), nil
+			},
+		},
+		{
+			Name: "umd-section-teacher", Complexity: 2,
+			Fn: func(el *xmldom.Element) ([]string, error) {
+				sec, err := mapping.ParseUMDSection(el.Text())
+				if err != nil {
+					return nil, err
+				}
+				return one(sec.Teacher), nil
+			},
+		},
+		{
+			Name: "umd-time-room", Complexity: 1,
+			Fn: func(el *xmldom.Element) ([]string, error) {
+				tm, err := mapping.ParseUMDTime(el.Text())
+				if err != nil {
+					return nil, err
+				}
+				return one(tm.Room), nil
+			},
+		},
+		{
+			Name: "comment-prereq", Complexity: 2,
+			Fn: func(el *xmldom.Element) ([]string, error) {
+				if mapping.InferEntryLevel("", el.Text()) {
+					return one("None"), nil
+				}
+				return nil, nil
+			},
+		},
+		{
+			Name: "umfang-units", Complexity: 3,
+			Fn: func(el *xmldom.Element) ([]string, error) {
+				u, err := mapping.ParseUmfang(el.Text())
+				if err != nil {
+					return nil, err
+				}
+				return one(fmt.Sprintf("%d", u.Units())), nil
+			},
+		},
+		{
+			Name: "term-instructor", Complexity: 2,
+			Fn: func(el *xmldom.Element) ([]string, error) {
+				v := strings.TrimSpace(el.Text())
+				if v == "" || v == "(not offered)" {
+					return nil, nil
+				}
+				return one(v), nil
+			},
+		},
+		// Pseudo-transforms representing predicate-level machinery, so the
+		// effort ledger can charge for them.
+		{Name: "lexicon-translate", Complexity: 3, Fn: func(el *xmldom.Element) ([]string, error) { return nil, nil }},
+		{Name: "dual-null", Complexity: 3, Fn: func(el *xmldom.Element) ([]string, error) { return nil, nil }},
+	}
+}
+
+// testbedMappings is the mediation table for the benchmark's source pairs.
+func testbedMappings() []*SourceMapping {
+	return []*SourceMapping{
+		{
+			Source: "gatech", Record: "Course",
+			Fields: []FieldMapping{
+				{Field: "course", Path: "CourseNum"},
+				{Field: "title", Path: "Title"},
+				{Field: "instructor", Path: "Instructor"},
+				{Field: "time", Path: "Time"},
+				{Field: "room", Path: "Room"},
+				{Field: "restriction", Path: "Restrictions"},
+			},
+		},
+		{
+			Source: "cmu", Record: "Course",
+			Fields: []FieldMapping{
+				{Field: "course", Path: "CourseNumber"},
+				{Field: "title", Path: "CourseTitle", Transform: "title-text"},
+				{Field: "instructor", Path: "Lecturer", Transform: "split-slash"},
+				{Field: "units", Path: "Units"},
+				{Field: "day", Path: "Day"},
+				{Field: "time", Path: "Time", Transform: "range24"},
+				{Field: "room", Path: "Room"},
+				{Field: "textbook", Path: "Textbook", MissingAsEmpty: true},
+				{Field: "prerequisite", Path: "CourseTitle/Comment", Transform: "comment-prereq"},
+			},
+		},
+		{
+			Source: "umd", Record: "Course",
+			Fields: []FieldMapping{
+				{Field: "course", Path: "CourseNum"},
+				{Field: "title", Path: "CourseName"},
+				{Field: "instructor", Path: "Section/SectionTitle", Transform: "umd-section-teacher"},
+				{Field: "room", Path: "Section/Time", Transform: "umd-time-room"},
+			},
+		},
+		{
+			Source: "brown", Record: "Course",
+			Fields: []FieldMapping{
+				{Field: "course", Path: "CrsNum"},
+				{Field: "title", Path: "Title", Transform: "brown-title"},
+				{Field: "day", Path: "Title", Transform: "brown-day"},
+				{Field: "time", Path: "Title", Transform: "brown-time"},
+				{Field: "room", Path: "Room"},
+			},
+		},
+		{
+			Source: "toronto", Record: "course",
+			Fields: []FieldMapping{
+				{Field: "course", Path: "code"},
+				{Field: "title", Path: "title"},
+				{Field: "instructor", Path: "instructor"},
+				{Field: "textbook", Path: "text", MissingAsEmpty: true},
+			},
+		},
+		{
+			Source: "umich", Record: "Course",
+			Fields: []FieldMapping{
+				{Field: "course", Path: "number"},
+				{Field: "title", Path: "title"},
+				{Field: "instructor", Path: "instructor"},
+				{Field: "prerequisite", Path: "prerequisite"},
+			},
+		},
+		{
+			Source: "ucsd", Record: "Course",
+			Fields: []FieldMapping{
+				{Field: "course", Path: "Number"},
+				{Field: "title", Path: "Title"},
+				// Both term columns feed the instructor field (case 11).
+				{Field: "instructor", Path: "Fall2003", Transform: "term-instructor"},
+				{Field: "instructor", Path: "Winter2004", Transform: "term-instructor"},
+			},
+		},
+		{
+			Source: "umass", Record: "Course",
+			Fields: []FieldMapping{
+				{Field: "course", Path: "Number"},
+				{Field: "title", Path: "Name"},
+				{Field: "instructor", Path: "Instructor"},
+				{Field: "day", Path: "Days"},
+				{Field: "time", Path: "Time", Transform: "range24"},
+				{Field: "room", Path: "Room"},
+			},
+		},
+		{
+			Source: "eth", Record: "Vorlesung",
+			Fields: []FieldMapping{
+				{Field: "course", Path: "Nummer"},
+				{Field: "title", Path: "Titel"},
+				{Field: "instructor", Path: "Dozent"},
+				{Field: "units", Path: "Umfang", Transform: "umfang-units"},
+				{Field: "room", Path: "Ort"},
+			},
+			// US student classification does not exist at ETH (case 8).
+			Inapplicable: []string{"restriction"},
+		},
+	}
+}

@@ -1,0 +1,52 @@
+package schemamatch
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Instance classifiers: value-pattern recognizers for the domain's column
+// types. Each accepts one sampled value.
+
+var timeRE = regexp.MustCompile(`^\s*[A-Za-z,/ ]*\d{1,2}(:\d{2})?\s*(am|pm)?\s*[-–]\s*\d{1,2}(:\d{2})?\s*(am|pm)?\s*$`)
+
+// looksLikeTime accepts meeting-time ranges in any of the testbed's clock
+// spellings, with or without leading day codes.
+func looksLikeTime(v string) bool {
+	return timeRE.MatchString(v)
+}
+
+var courseNumRE = regexp.MustCompile(`^[A-Z]{2,5}[- ]?\d{2,4}[A-Z]?$|^\d{2,3}-\d{3,4}$|^\d{3}-\d{4}$|^[A-Z]{2}-?\d+$|^6\.\d+$|^CL-\d+$|^CST-\d+$`)
+
+// looksLikeCourseNumber accepts course identifiers in the testbed's
+// numbering schemes (CS016, CMSC420, 15-415, 251-0317, 6.350, ...).
+func looksLikeCourseNumber(v string) bool {
+	return courseNumRE.MatchString(strings.TrimSpace(v))
+}
+
+var personRE = regexp.MustCompile(`^(Prof\. )?[A-ZÄÖÜ][a-zäöüß]+(([ /-][A-ZÄÖÜ][a-zäöüß]+)*|(, [A-Z]\.?))$`)
+
+// looksLikePersonName accepts instructor spellings: "Ailamaki",
+// "Song/Wing", "Singh, H.", "Prof. Norvig".
+func looksLikePersonName(v string) bool {
+	v = strings.TrimSpace(v)
+	if v == "Staff" {
+		return true
+	}
+	return personRE.MatchString(v)
+}
+
+var roomRE = regexp.MustCompile(`^[A-Z]{2,6}\s?-?\d{1,4}[A-Z]?([,\s].*)?$|^\d{3,4}\s[A-Z]{2,6}$`)
+
+// looksLikeRoom accepts room spellings: "CIT 165", "WEH 5409", "KEY0106",
+// "1013 DOW", including trailing annotations ("CIT 165, Labs in Sunlab").
+func looksLikeRoom(v string) bool {
+	return roomRE.MatchString(strings.TrimSpace(v))
+}
+
+// looksLikeSmallInt accepts small integers (credit hours / units).
+func looksLikeSmallInt(v string) bool {
+	n, err := strconv.Atoi(strings.TrimSpace(v))
+	return err == nil && n > 0 && n < 50
+}

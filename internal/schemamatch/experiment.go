@@ -1,0 +1,170 @@
+package schemamatch
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"thalia/internal/catalog"
+)
+
+// Truth is the ground-truth correspondence for the testbed's paper-named
+// sources: source element name → global concept. It is derived from how
+// the catalog generators populate each column, so matcher accuracy can be
+// measured objectively.
+func Truth() map[string]map[string]Concept {
+	return map[string]map[string]Concept{
+		"brown": {
+			"CrsNum": ConceptNumber, "Instructor": ConceptInstructor,
+			"Room": ConceptRoom,
+		},
+		"cmu": {
+			"CourseNumber": ConceptNumber, "Units": ConceptCredits,
+			"Lecturer": ConceptInstructor, "Day": ConceptDay, "Time": ConceptTime,
+			"Room": ConceptRoom, "Textbook": ConceptTextbook, "Comment": ConceptUnknown,
+		},
+		"umd": {
+			"CourseNum": ConceptNumber, "CourseName": ConceptTitle,
+			"Notes": ConceptUnknown, "SectionTitle": ConceptSection, "Time": ConceptTime,
+		},
+		"gatech": {
+			"CRN": ConceptNumber, "CourseNum": ConceptNumber, "Title": ConceptTitle,
+			"Instructor": ConceptInstructor, "Time": ConceptTime, "Room": ConceptRoom,
+			"Restrictions": ConceptRestrict,
+		},
+		"eth": {
+			"Nummer": ConceptNumber, "Titel": ConceptTitle, "Dozent": ConceptInstructor,
+			"Umfang": ConceptCredits, "Zeit": ConceptTime, "Ort": ConceptRoom,
+		},
+		"toronto": {
+			"code": ConceptNumber, "title": ConceptTitle, "instructor": ConceptInstructor,
+			"when": ConceptTime, "where": ConceptRoom, "text": ConceptTextbook,
+		},
+		"umich": {
+			"number": ConceptNumber, "title": ConceptTitle, "prerequisite": ConceptPrereq,
+			"instructor": ConceptInstructor, "meets": ConceptTime, "credits": ConceptCredits,
+		},
+		"ucsd": {
+			"Number": ConceptNumber, "Title": ConceptTitle,
+			// Case 11: the term columns hold instructor names.
+			"Fall2003": ConceptInstructor, "Winter2004": ConceptInstructor,
+			"Time": ConceptTime, "Room": ConceptRoom,
+		},
+		"umass": {
+			"Number": ConceptNumber, "Name": ConceptTitle, "Instructor": ConceptInstructor,
+			"Days": ConceptDay, "Time": ConceptTime, "Room": ConceptRoom,
+		},
+	}
+}
+
+// Outcome is one scored correspondence.
+type Outcome struct {
+	Source   string
+	Proposed Candidate
+	Expected Concept
+	Correct  bool
+}
+
+// Report aggregates an experiment run.
+type Report struct {
+	Outcomes []Outcome
+	// ByEvidence counts correct matches per evidence kind.
+	ByEvidence map[string]int
+}
+
+// Total and Correct report overall accuracy.
+func (r *Report) Total() int { return len(r.Outcomes) }
+
+// Correct counts correct correspondences.
+func (r *Report) Correct() int {
+	n := 0
+	for _, o := range r.Outcomes {
+		if o.Correct {
+			n++
+		}
+	}
+	return n
+}
+
+// Accuracy is Correct/Total.
+func (r *Report) Accuracy() float64 {
+	if len(r.Outcomes) == 0 {
+		return 0
+	}
+	return float64(r.Correct()) / float64(r.Total())
+}
+
+// Mistakes returns the incorrect outcomes.
+func (r *Report) Mistakes() []Outcome {
+	var out []Outcome
+	for _, o := range r.Outcomes {
+		if !o.Correct {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// Format renders the report as a text table.
+func (r *Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Automatic schema matching over the THALIA testbed: %d/%d correct (%.0f%%)\n",
+		r.Correct(), r.Total(), 100*r.Accuracy())
+	kinds := make([]string, 0, len(r.ByEvidence))
+	for k := range r.ByEvidence {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Fprintf(&b, "  correct via %-10s %d\n", k+":", r.ByEvidence[k])
+	}
+	if ms := r.Mistakes(); len(ms) > 0 {
+		b.WriteString("  mismatches:\n")
+		for _, o := range ms {
+			fmt.Fprintf(&b, "    %s/%s: proposed %s (%.2f, %s), expected %s\n",
+				o.Source, o.Proposed.Element, o.Proposed.Concept, o.Proposed.Score,
+				o.Proposed.Evidence, o.Expected)
+		}
+	}
+	return b.String()
+}
+
+// RunExperiment matches every labeled element of the paper-named sources
+// and scores the result against the ground truth.
+func RunExperiment() (*Report, error) {
+	m := New()
+	truth := Truth()
+	report := &Report{ByEvidence: map[string]int{}}
+	names := make([]string, 0, len(truth))
+	for name := range truth {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		src, err := catalog.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		sch, err := src.Schema()
+		if err != nil {
+			return nil, err
+		}
+		doc, err := src.Document()
+		if err != nil {
+			return nil, err
+		}
+		labels := truth[name]
+		for _, cand := range m.SchemaMatch(sch, doc) {
+			expected, labeled := labels[cand.Element]
+			if !labeled {
+				continue
+			}
+			o := Outcome{Source: name, Proposed: cand, Expected: expected, Correct: cand.Concept == expected}
+			if o.Correct {
+				report.ByEvidence[cand.Evidence]++
+			}
+			report.Outcomes = append(report.Outcomes, o)
+		}
+	}
+	return report, nil
+}

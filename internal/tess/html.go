@@ -1,0 +1,95 @@
+package tess
+
+import (
+	"regexp"
+	"strings"
+
+	"thalia/internal/xmldom"
+)
+
+// tagRE matches a single HTML tag (open, close, or self-closing).
+var tagRE = regexp.MustCompile(`(?s)<[^>]*>`)
+
+// anchorRE matches a complete anchor element, capturing href and body.
+var anchorRE = regexp.MustCompile(`(?is)<a\s[^>]*href\s*=\s*["']?([^"'>\s]+)["']?[^>]*>(.*?)</a>`)
+
+// hrefRE matches just the href attribute of the first anchor tag.
+var hrefRE = regexp.MustCompile(`(?is)<a\s[^>]*href\s*=\s*["']?([^"'>\s]+)["']?`)
+
+var entityReplacer = strings.NewReplacer(
+	"&nbsp;", " ",
+	"&ndash;", "\u2013",
+	"&mdash;", "\u2014",
+	"&amp;", "&",
+	"&lt;", "<",
+	"&gt;", ">",
+	"&quot;", `"`,
+	"&#39;", "'",
+	"&apos;", "'",
+	"&uuml;", "ü",
+	"&ouml;", "ö",
+	"&auml;", "ä",
+	"&Uuml;", "Ü",
+	"&Ouml;", "Ö",
+	"&Auml;", "Ä",
+	"&szlig;", "ß",
+)
+
+// decodeEntities resolves the HTML entities that occur in the testbed's
+// cached catalog pages (including the German umlauts in ETH's catalog).
+func decodeEntities(s string) string { return entityReplacer.Replace(s) }
+
+var spaceRE = regexp.MustCompile(`\s+`)
+
+// StripTags removes all markup from an HTML region, decodes entities, and
+// collapses runs of whitespace — the ModeText conversion.
+func StripTags(s string) string {
+	// <br> acts as a separator, not mere markup.
+	s = regexp.MustCompile(`(?i)<br\s*/?>`).ReplaceAllString(s, " ")
+	s = tagRE.ReplaceAllString(s, "")
+	s = decodeEntities(s)
+	return strings.TrimSpace(spaceRE.ReplaceAllString(s, " "))
+}
+
+// FirstLink returns the URL of the first hyperlink in the region, or "" if
+// there is none — the ModeLink conversion (TESS's stand-in for deep
+// extraction, per the paper).
+func FirstLink(s string) string {
+	m := hrefRE.FindStringSubmatch(s)
+	if m == nil {
+		return ""
+	}
+	return m[1]
+}
+
+// MarkupNodes converts an HTML region into xmldom nodes, preserving anchors
+// as <a href="..."> elements with their (tag-stripped) text content, and
+// everything else as text — the ModeMarkup conversion. This reproduces how
+// the testbed represents Brown's Title/Time column, where the course title
+// is a hyperlink concatenated with free-text time information.
+func MarkupNodes(s string) []xmldom.Node {
+	var nodes []xmldom.Node
+	appendText := func(t string) {
+		t = StripTags(t)
+		if t == "" {
+			return
+		}
+		nodes = append(nodes, xmldom.NewText(t))
+	}
+	for {
+		loc := anchorRE.FindStringSubmatchIndex(s)
+		if loc == nil {
+			appendText(s)
+			return nodes
+		}
+		appendText(s[:loc[0]])
+		href := s[loc[2]:loc[3]]
+		body := StripTags(s[loc[4]:loc[5]])
+		a := xmldom.NewElement("a").SetAttr("href", href)
+		if body != "" {
+			a.AppendText(body)
+		}
+		nodes = append(nodes, a)
+		s = s[loc[1]:]
+	}
+}

@@ -1,0 +1,113 @@
+package ufmw
+
+import (
+	"testing"
+
+	"thalia/internal/integration"
+)
+
+func TestIdentity(t *testing.T) {
+	m := New()
+	if m.Name() != "UF Full Mediator" {
+		t.Errorf("Name = %q", m.Name())
+	}
+	if m.Description() == "" {
+		t.Error("empty description")
+	}
+}
+
+func TestAnswersAllTwelve(t *testing.T) {
+	m := New()
+	for id := 1; id <= 12; id++ {
+		ans, err := m.Answer(integration.Request{QueryID: id})
+		if err != nil {
+			t.Errorf("query %d: %v", id, err)
+			continue
+		}
+		if len(ans.Rows) == 0 {
+			t.Errorf("query %d: empty answer", id)
+		}
+		for _, r := range ans.Rows {
+			if r["source"] == "" {
+				t.Errorf("query %d: row without source: %v", id, r)
+			}
+		}
+	}
+	if _, err := m.Answer(integration.Request{QueryID: 42}); err == nil {
+		t.Error("expected error for unknown query")
+	}
+}
+
+func TestSplitLecturers(t *testing.T) {
+	cases := map[string][]string{
+		"Song/Wing": {"Song", "Wing"},
+		"Ailamaki":  {"Ailamaki"},
+		" A / B ":   {"A", "B"},
+		"":          nil,
+		"/":         nil,
+	}
+	for in, want := range cases {
+		got := splitLecturers(in)
+		if len(got) != len(want) {
+			t.Errorf("splitLecturers(%q) = %v, want %v", in, got, want)
+			continue
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("splitLecturers(%q) = %v, want %v", in, got, want)
+			}
+		}
+	}
+}
+
+func TestDualNullInQuery8(t *testing.T) {
+	m := New()
+	ans, err := m.Answer(integration.Request{QueryID: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawApplicable, sawInapplicable := false, false
+	for _, r := range ans.Rows {
+		switch r["source"] {
+		case "gatech":
+			if r["restriction"] == "(not applicable)" {
+				t.Error("gatech restrictions are applicable data")
+			}
+			sawApplicable = true
+		case "eth":
+			if r["restriction"] != "(not applicable)" {
+				t.Errorf("eth restriction = %q, want the inapplicable marker", r["restriction"])
+			}
+			sawInapplicable = true
+		}
+	}
+	if !sawApplicable || !sawInapplicable {
+		t.Error("query 8 must mix applicable and inapplicable rows")
+	}
+}
+
+func TestEffortAccounting(t *testing.T) {
+	m := New()
+	// The hard queries (4, 5, 8) cost the mediator large effort — that is
+	// the benchmark's point: they are answerable, but expensively.
+	for _, id := range []int{4, 5, 8} {
+		ans, err := m.Answer(integration.Request{QueryID: id})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ans.Effort != integration.EffortLarge {
+			t.Errorf("query %d effort = %v, want large", id, ans.Effort)
+		}
+		if len(ans.Functions) == 0 {
+			t.Errorf("query %d must declare its external functions", id)
+		}
+	}
+	// The synonym query is pure mapping.
+	ans, err := m.Answer(integration.Request{QueryID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Effort != integration.EffortNone {
+		t.Errorf("query 1 effort = %v, want none", ans.Effort)
+	}
+}

@@ -1,0 +1,127 @@
+package xmldom
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Parse reads an XML document from r and returns its tree. Prefixes are kept
+// verbatim in element and attribute names; whitespace-only text between
+// elements is dropped.
+func Parse(r io.Reader) (*Document, error) {
+	dec := xml.NewDecoder(r)
+	// The testbed contains cached snapshots of real-world catalogs, some of
+	// which declare legacy encodings; treat everything as already-UTF-8.
+	dec.CharsetReader = func(charset string, input io.Reader) (io.Reader, error) {
+		return input, nil
+	}
+
+	var (
+		root  *Element
+		stack []*Element
+	)
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmldom: parse: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			el := NewElement(qualify(t.Name))
+			for _, a := range t.Attr {
+				// xmlns declarations are kept so serialization round-trips.
+				el.Attrs = append(el.Attrs, Attr{Name: qualifyAttr(a.Name), Value: a.Value})
+			}
+			if len(stack) == 0 {
+				if root != nil {
+					return nil, fmt.Errorf("xmldom: parse: multiple root elements (%s, %s)", root.Name, el.Name)
+				}
+				root = el
+			} else {
+				stack[len(stack)-1].Append(el)
+			}
+			stack = append(stack, el)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xmldom: parse: unexpected end element </%s>", qualify(t.Name))
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			if len(stack) == 0 {
+				continue // prolog whitespace
+			}
+			data := string(t)
+			if strings.TrimSpace(data) == "" {
+				continue
+			}
+			top := stack[len(stack)-1]
+			// Merge adjacent text runs (the decoder splits around entities).
+			if n := len(top.Children); n > 0 {
+				if prev, ok := top.Children[n-1].(*Text); ok {
+					prev.Data += data
+					continue
+				}
+			}
+			top.Append(NewText(data))
+		case xml.Comment:
+			if len(stack) > 0 {
+				stack[len(stack)-1].Append(&Comment{Data: string(t)})
+			}
+		case xml.ProcInst, xml.Directive:
+			// Prolog and DOCTYPE are not modeled.
+		}
+	}
+	if root == nil {
+		return nil, fmt.Errorf("xmldom: parse: document has no root element")
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("xmldom: parse: unclosed element <%s>", stack[len(stack)-1].Name)
+	}
+	return &Document{Root: root}, nil
+}
+
+// ParseString parses an XML document held in a string.
+func ParseString(s string) (*Document, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// MustParse parses s and panics on error. For use in tests and static data.
+func MustParse(s string) *Document {
+	doc, err := ParseString(s)
+	if err != nil {
+		panic(err)
+	}
+	return doc
+}
+
+func qualify(n xml.Name) string {
+	// encoding/xml resolves prefixes to namespace URLs in Name.Space; for the
+	// testbed we only care about the well-known schema namespace, which we
+	// render back to the conventional "xs:" prefix.
+	switch n.Space {
+	case "":
+		return n.Local
+	case "http://www.w3.org/2001/XMLSchema":
+		return "xs:" + n.Local
+	default:
+		return n.Local
+	}
+}
+
+func qualifyAttr(n xml.Name) string {
+	switch n.Space {
+	case "":
+		return n.Local
+	case "xmlns":
+		return "xmlns:" + n.Local
+	case "http://www.w3.org/2001/XMLSchema":
+		return "xs:" + n.Local
+	default:
+		return n.Local
+	}
+}

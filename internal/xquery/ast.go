@@ -1,0 +1,131 @@
+package xquery
+
+// Expr is a parsed XQuery expression.
+type Expr interface {
+	exprNode()
+}
+
+// FLWOR is a for/let/where/order by/return expression.
+type FLWOR struct {
+	Fors    []ForBinding
+	Lets    []LetBinding
+	Where   Expr // nil if absent
+	OrderBy *OrderSpec
+	Return  Expr
+}
+
+// ForBinding binds a variable to each item of a sequence in turn.
+type ForBinding struct {
+	Var string
+	In  Expr
+}
+
+// LetBinding binds a variable to a whole sequence.
+type LetBinding struct {
+	Var string
+	Val Expr
+}
+
+// OrderSpec sorts the tuple stream by a key expression.
+type OrderSpec struct {
+	Key        Expr
+	Descending bool
+}
+
+// PathExpr applies a series of steps to an initial expression (the root).
+// Root may be nil for paths that begin with a step relative to the context
+// item (not used by the benchmark queries but supported in predicates).
+type PathExpr struct {
+	Root  Expr
+	Steps []Step
+}
+
+// StepAxis selects how a step navigates from a context node.
+type StepAxis int
+
+// Axes supported by the subset.
+const (
+	AxisChild StepAxis = iota
+	AxisDescendant
+	AxisAttribute
+)
+
+// Step is one navigation step with optional predicates.
+type Step struct {
+	Axis StepAxis
+	// Name is the element or attribute name to match; "*" matches any.
+	Name       string
+	Predicates []Expr
+}
+
+// VarRef references a bound variable.
+type VarRef struct{ Name string }
+
+// StringLit is a string literal.
+type StringLit struct{ Val string }
+
+// NumberLit is a numeric literal.
+type NumberLit struct{ Val float64 }
+
+// Binary is a binary operation: comparison, boolean, or arithmetic.
+type Binary struct {
+	Op   string // "=", "!=", "<", "<=", ">", ">=", "and", "or", "+", "-", "*", "div", "mod", "to"
+	L, R Expr
+}
+
+// Unary is numeric negation.
+type Unary struct {
+	Op string // "-"
+	X  Expr
+}
+
+// Call is a function call.
+type Call struct {
+	Name string
+	Args []Expr
+}
+
+// SeqExpr is a comma sequence (a, b, c).
+type SeqExpr struct{ Items []Expr }
+
+// ElemCtor is a direct element constructor with literal and computed content.
+type ElemCtor struct {
+	Name  string
+	Attrs []CtorAttr
+	// Content items are StringLit (literal text), embedded Exprs from {...},
+	// or nested *ElemCtor values.
+	Content []Expr
+}
+
+// CtorAttr is an attribute in a direct constructor; its value parts are
+// literal strings and embedded expressions.
+type CtorAttr struct {
+	Name  string
+	Parts []Expr
+}
+
+// Quantified is a some/every expression (used by integration mappings).
+type Quantified struct {
+	Every bool // false = some
+	Var   string
+	In    Expr
+	Sat   Expr
+}
+
+// IfExpr is if (cond) then a else b.
+type IfExpr struct {
+	Cond, Then, Else Expr
+}
+
+func (*FLWOR) exprNode()      {}
+func (*PathExpr) exprNode()   {}
+func (*VarRef) exprNode()     {}
+func (*StringLit) exprNode()  {}
+func (*NumberLit) exprNode()  {}
+func (*Binary) exprNode()     {}
+func (*Unary) exprNode()      {}
+func (*Call) exprNode()       {}
+func (*SeqExpr) exprNode()    {}
+func (*ElemCtor) exprNode()   {}
+func (*Quantified) exprNode() {}
+func (*IfExpr) exprNode()     {}

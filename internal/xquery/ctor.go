@@ -1,0 +1,229 @@
+package xquery
+
+import (
+	"strings"
+)
+
+// parseCtor handles a direct element constructor. The lexer has consumed the
+// '<'; the constructor is scanned from the raw source in markup mode, after
+// which the lexer resumes past it.
+func (p *parser) parseCtor() (Expr, error) {
+	ctor, end, err := scanCtor(p.lex.src, p.tok.pos)
+	if err != nil {
+		return nil, err
+	}
+	p.lex.setPos(end)
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	return ctor, nil
+}
+
+// scanCtor scans a direct element constructor beginning with '<' at src[i].
+// It returns the constructor and the offset just past it.
+func scanCtor(src string, i int) (*ElemCtor, int, error) {
+	if i >= len(src) || src[i] != '<' {
+		return nil, i, &SyntaxError{Pos: i, Msg: "expected '<'"}
+	}
+	j := i + 1
+	name, j := scanCtorName(src, j)
+	if name == "" {
+		return nil, i, &SyntaxError{Pos: j, Msg: "expected element name in constructor"}
+	}
+	ctor := &ElemCtor{Name: name}
+
+	// Attributes.
+	for {
+		j = skipWS(src, j)
+		if j >= len(src) {
+			return nil, j, &SyntaxError{Pos: j, Msg: "unterminated start tag"}
+		}
+		if src[j] == '>' {
+			j++
+			break
+		}
+		if strings.HasPrefix(src[j:], "/>") {
+			return ctor, j + 2, nil
+		}
+		aname, nj := scanCtorName(src, j)
+		if aname == "" {
+			return nil, j, &SyntaxError{Pos: j, Msg: "expected attribute name in constructor"}
+		}
+		j = skipWS(src, nj)
+		if j >= len(src) || src[j] != '=' {
+			return nil, j, &SyntaxError{Pos: j, Msg: "expected '=' after attribute name"}
+		}
+		j = skipWS(src, j+1)
+		if j >= len(src) || (src[j] != '"' && src[j] != '\'') {
+			return nil, j, &SyntaxError{Pos: j, Msg: "expected quoted attribute value"}
+		}
+		quote := src[j]
+		j++
+		attr := CtorAttr{Name: aname}
+		var lit strings.Builder
+		flush := func() {
+			if lit.Len() > 0 {
+				attr.Parts = append(attr.Parts, &StringLit{Val: lit.String()})
+				lit.Reset()
+			}
+		}
+		for {
+			if j >= len(src) {
+				return nil, j, &SyntaxError{Pos: j, Msg: "unterminated attribute value"}
+			}
+			c := src[j]
+			if c == quote {
+				j++
+				break
+			}
+			if c == '{' {
+				if strings.HasPrefix(src[j:], "{{") {
+					lit.WriteByte('{')
+					j += 2
+					continue
+				}
+				flush()
+				expr, nj, err := scanEmbedded(src, j)
+				if err != nil {
+					return nil, j, err
+				}
+				attr.Parts = append(attr.Parts, expr)
+				j = nj
+				continue
+			}
+			if strings.HasPrefix(src[j:], "}}") {
+				lit.WriteByte('}')
+				j += 2
+				continue
+			}
+			lit.WriteString(decodeXMLEntity(src, &j))
+		}
+		flush()
+		ctor.Attrs = append(ctor.Attrs, attr)
+	}
+
+	// Content until the matching close tag.
+	var text strings.Builder
+	flushText := func() {
+		if s := text.String(); strings.TrimSpace(s) != "" {
+			ctor.Content = append(ctor.Content, &StringLit{Val: s})
+		}
+		text.Reset()
+	}
+	for {
+		if j >= len(src) {
+			return nil, j, &SyntaxError{Pos: j, Msg: "unterminated element constructor <" + name + ">"}
+		}
+		if strings.HasPrefix(src[j:], "</") {
+			flushText()
+			k := j + 2
+			cname, k := scanCtorName(src, k)
+			k = skipWS(src, k)
+			if cname != name {
+				return nil, j, &SyntaxError{Pos: j, Msg: "mismatched close tag </" + cname + "> for <" + name + ">"}
+			}
+			if k >= len(src) || src[k] != '>' {
+				return nil, k, &SyntaxError{Pos: k, Msg: "expected '>' in close tag"}
+			}
+			return ctor, k + 1, nil
+		}
+		switch src[j] {
+		case '<':
+			flushText()
+			child, nj, err := scanCtor(src, j)
+			if err != nil {
+				return nil, j, err
+			}
+			ctor.Content = append(ctor.Content, child)
+			j = nj
+		case '{':
+			if strings.HasPrefix(src[j:], "{{") {
+				text.WriteByte('{')
+				j += 2
+				continue
+			}
+			flushText()
+			expr, nj, err := scanEmbedded(src, j)
+			if err != nil {
+				return nil, j, err
+			}
+			ctor.Content = append(ctor.Content, expr)
+			j = nj
+		case '}':
+			if strings.HasPrefix(src[j:], "}}") {
+				text.WriteByte('}')
+				j += 2
+				continue
+			}
+			return nil, j, &SyntaxError{Pos: j, Msg: "unexpected '}' in constructor content"}
+		default:
+			text.WriteString(decodeXMLEntity(src, &j))
+		}
+	}
+}
+
+// scanEmbedded parses a {expr} block starting at the '{' and returns the
+// compiled expression and the offset just past the '}'.
+func scanEmbedded(src string, i int) (Expr, int, error) {
+	depth := 0
+	j := i
+	for j < len(src) {
+		switch src[j] {
+		case '{':
+			depth++
+		case '}':
+			depth--
+			if depth == 0 {
+				inner := src[i+1 : j]
+				e, err := Parse(inner)
+				if err != nil {
+					return nil, j, err
+				}
+				return e, j + 1, nil
+			}
+		case '\'', '"':
+			q := src[j]
+			j++
+			for j < len(src) && src[j] != q {
+				j++
+			}
+		}
+		j++
+	}
+	return nil, j, &SyntaxError{Pos: i, Msg: "unterminated embedded expression"}
+}
+
+func scanCtorName(src string, i int) (string, int) {
+	start := i
+	for i < len(src) && (isNameChar(src[i]) || src[i] == '-') {
+		i++
+	}
+	return src[start:i], i
+}
+
+func skipWS(src string, i int) int {
+	for i < len(src) && (src[i] == ' ' || src[i] == '\t' || src[i] == '\n' || src[i] == '\r') {
+		i++
+	}
+	return i
+}
+
+// decodeXMLEntity consumes one character (or entity) at *j and returns its
+// decoded text, advancing *j.
+func decodeXMLEntity(src string, j *int) string {
+	if src[*j] != '&' {
+		s := string(src[*j])
+		*j++
+		return s
+	}
+	for name, repl := range map[string]string{
+		"&amp;": "&", "&lt;": "<", "&gt;": ">", "&quot;": `"`, "&apos;": "'",
+	} {
+		if strings.HasPrefix(src[*j:], name) {
+			*j += len(name)
+			return repl
+		}
+	}
+	*j++
+	return "&"
+}

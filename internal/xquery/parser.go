@@ -1,0 +1,585 @@
+package xquery
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse compiles query text into an expression tree.
+func Parse(src string) (Expr, error) {
+	p := &parser{lex: &lexer{src: src}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	e, err := p.parseExprSeq()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.errorf("unexpected %q after end of query", p.tok.text)
+	}
+	return e, nil
+}
+
+// MustParse parses src and panics on error; for tests and static queries.
+func MustParse(src string) Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type parser struct {
+	lex *lexer
+	tok token
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return &SyntaxError{Pos: p.tok.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// isKeyword reports whether the current token is the given keyword,
+// case-insensitively (the paper writes FOR/WHERE/RETURN in caps).
+func (p *parser) isKeyword(kw string) bool {
+	return p.tok.kind == tokName && strings.EqualFold(p.tok.text, kw)
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.isKeyword(kw) {
+		return p.errorf("expected %q, found %q", kw, p.tok.text)
+	}
+	return p.advance()
+}
+
+func (p *parser) isOp(op string) bool {
+	return p.tok.kind == tokOp && p.tok.text == op
+}
+
+func (p *parser) expectOp(op string) error {
+	if !p.isOp(op) {
+		return p.errorf("expected %q, found %q", op, p.tok.text)
+	}
+	return p.advance()
+}
+
+// parseExprSeq parses a comma-separated sequence.
+func (p *parser) parseExprSeq() (Expr, error) {
+	first, err := p.parseExprSingle()
+	if err != nil {
+		return nil, err
+	}
+	if !p.isOp(",") {
+		return first, nil
+	}
+	items := []Expr{first}
+	for p.isOp(",") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExprSingle()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, e)
+	}
+	return &SeqExpr{Items: items}, nil
+}
+
+func (p *parser) parseExprSingle() (Expr, error) {
+	switch {
+	case p.isKeyword("for") || p.isKeyword("let"):
+		return p.parseFLWOR()
+	case p.isKeyword("some") || p.isKeyword("every"):
+		return p.parseQuantified()
+	case p.isKeyword("if"):
+		return p.parseIf()
+	default:
+		return p.parseOr()
+	}
+}
+
+func (p *parser) parseFLWOR() (*FLWOR, error) {
+	f := &FLWOR{}
+	for {
+		switch {
+		case p.isKeyword("for"):
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			for {
+				if p.tok.kind != tokVar {
+					return nil, p.errorf("expected $variable in for clause, found %q", p.tok.text)
+				}
+				name := p.tok.text
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				if err := p.expectKeyword("in"); err != nil {
+					return nil, err
+				}
+				in, err := p.parseExprSingle()
+				if err != nil {
+					return nil, err
+				}
+				f.Fors = append(f.Fors, ForBinding{Var: name, In: in})
+				if !p.isOp(",") {
+					break
+				}
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			}
+		case p.isKeyword("let"):
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			for {
+				if p.tok.kind != tokVar {
+					return nil, p.errorf("expected $variable in let clause, found %q", p.tok.text)
+				}
+				name := p.tok.text
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				if err := p.expectOp(":="); err != nil {
+					return nil, err
+				}
+				val, err := p.parseExprSingle()
+				if err != nil {
+					return nil, err
+				}
+				f.Lets = append(f.Lets, LetBinding{Var: name, Val: val})
+				if !p.isOp(",") {
+					break
+				}
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			}
+		default:
+			goto clauses
+		}
+	}
+clauses:
+	if len(f.Fors) == 0 && len(f.Lets) == 0 {
+		return nil, p.errorf("FLWOR expression has no for or let clause")
+	}
+	if p.isKeyword("where") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		w, err := p.parseExprSingle()
+		if err != nil {
+			return nil, err
+		}
+		f.Where = w
+	}
+	if p.isKeyword("order") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		key, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		spec := &OrderSpec{Key: key}
+		if p.isKeyword("descending") {
+			spec.Descending = true
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		} else if p.isKeyword("ascending") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+		f.OrderBy = spec
+	}
+	if err := p.expectKeyword("return"); err != nil {
+		return nil, err
+	}
+	ret, err := p.parseExprSingle()
+	if err != nil {
+		return nil, err
+	}
+	// The paper's queries juxtapose return expressions ("RETURN $b/Title
+	// $b/Day"); accept that as an implicit sequence.
+	var extra []Expr
+	for p.tok.kind == tokVar || p.tok.kind == tokTagOpen {
+		e, err := p.parseExprSingle()
+		if err != nil {
+			return nil, err
+		}
+		extra = append(extra, e)
+	}
+	if len(extra) > 0 {
+		f.Return = &SeqExpr{Items: append([]Expr{ret}, extra...)}
+	} else {
+		f.Return = ret
+	}
+	return f, nil
+}
+
+func (p *parser) parseQuantified() (Expr, error) {
+	every := p.isKeyword("every")
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokVar {
+		return nil, p.errorf("expected $variable, found %q", p.tok.text)
+	}
+	name := p.tok.text
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("in"); err != nil {
+		return nil, err
+	}
+	in, err := p.parseExprSingle()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("satisfies"); err != nil {
+		return nil, err
+	}
+	sat, err := p.parseExprSingle()
+	if err != nil {
+		return nil, err
+	}
+	return &Quantified{Every: every, Var: name, In: in, Sat: sat}, nil
+}
+
+func (p *parser) parseIf() (Expr, error) {
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExprSeq()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("then"); err != nil {
+		return nil, err
+	}
+	then, err := p.parseExprSingle()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("else"); err != nil {
+		return nil, err
+	}
+	els, err := p.parseExprSingle()
+	if err != nil {
+		return nil, err
+	}
+	return &IfExpr{Cond: cond, Then: then, Else: els}, nil
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKeyword("or") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "or", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseComparison()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKeyword("and") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseComparison()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "and", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	for _, op := range []string{"=", "!=", "<=", ">=", "<", ">"} {
+		if p.isOp(op) {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return &Binary{Op: op, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for p.isOp("+") || p.isOp("-") {
+		op := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.isOp("*") || p.isKeyword("div") || p.isKeyword("mod") {
+		op := p.tok.text
+		if p.isOp("*") {
+			op = "*"
+		} else {
+			op = strings.ToLower(op)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.isOp("-") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "-", X: x}, nil
+	}
+	return p.parsePath()
+}
+
+// parsePath parses a primary expression followed by /step or //step chains.
+func (p *parser) parsePath() (Expr, error) {
+	root, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	var steps []Step
+	for p.isOp("/") || p.isOp("//") {
+		axis := AxisChild
+		if p.isOp("//") {
+			axis = AxisDescendant
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		st, err := p.parseStep(axis)
+		if err != nil {
+			return nil, err
+		}
+		steps = append(steps, st)
+	}
+	if len(steps) == 0 {
+		return root, nil
+	}
+	return &PathExpr{Root: root, Steps: steps}, nil
+}
+
+func (p *parser) parseStep(axis StepAxis) (Step, error) {
+	st := Step{Axis: axis}
+	if p.isOp("@") {
+		if axis == AxisDescendant {
+			st.Axis = AxisAttribute // //@x means descendant-or-self attr; treat as attribute on descendants
+		} else {
+			st.Axis = AxisAttribute
+		}
+		if err := p.advance(); err != nil {
+			return st, err
+		}
+	}
+	switch {
+	case p.tok.kind == tokName:
+		st.Name = p.tok.text
+	case p.isOp("*"):
+		st.Name = "*"
+	default:
+		return st, p.errorf("expected step name, found %q", p.tok.text)
+	}
+	if err := p.advance(); err != nil {
+		return st, err
+	}
+	for p.isOp("[") {
+		if err := p.advance(); err != nil {
+			return st, err
+		}
+		pred, err := p.parseExprSeq()
+		if err != nil {
+			return st, err
+		}
+		if err := p.expectOp("]"); err != nil {
+			return st, err
+		}
+		st.Predicates = append(st.Predicates, pred)
+	}
+	return st, nil
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	switch p.tok.kind {
+	case tokVar:
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &VarRef{Name: name}, nil
+	case tokString:
+		s := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &StringLit{Val: s}, nil
+	case tokNumber:
+		v, err := strconv.ParseFloat(p.tok.text, 64)
+		if err != nil {
+			return nil, p.errorf("bad number %q", p.tok.text)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &NumberLit{Val: v}, nil
+	case tokTagOpen:
+		return p.parseCtor()
+	case tokName:
+		name := p.tok.text
+		namePos := p.tok.pos
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.isOp("(") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			call := &Call{Name: strings.ToLower(name)}
+			if !p.isOp(")") {
+				for {
+					arg, err := p.parseExprSingle()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, arg)
+					if !p.isOp(",") {
+						break
+					}
+					if err := p.advance(); err != nil {
+						return nil, err
+					}
+				}
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		// A bare name is a child step relative to the context item.
+		_ = namePos
+		st := Step{Axis: AxisChild, Name: name}
+		for p.isOp("[") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			pred, err := p.parseExprSeq()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp("]"); err != nil {
+				return nil, err
+			}
+			st.Predicates = append(st.Predicates, pred)
+		}
+		return &PathExpr{Root: nil, Steps: []Step{st}}, nil
+	case tokOp:
+		switch p.tok.text {
+		case "(":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if p.isOp(")") { // empty sequence ()
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				return &SeqExpr{}, nil
+			}
+			e, err := p.parseExprSeq()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		case "@":
+			// Attribute step relative to context item (inside predicates).
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if p.tok.kind != tokName && !p.isOp("*") {
+				return nil, p.errorf("expected attribute name after @")
+			}
+			name := p.tok.text
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			return &PathExpr{Root: nil, Steps: []Step{{Axis: AxisAttribute, Name: name}}}, nil
+		}
+	}
+	return nil, p.errorf("unexpected token %q", p.tok.text)
+}

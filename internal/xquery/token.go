@@ -1,0 +1,204 @@
+// Package xquery implements the subset of XQuery 1.0 that THALIA's twelve
+// benchmark queries are written in: FLWOR expressions (for/let/where/order
+// by/return), path expressions with child, descendant and attribute steps
+// and predicates, general comparisons, arithmetic, the core function
+// library, and direct element constructors for shaping integrated results.
+//
+// One deliberate extension matches the paper's usage: the benchmark queries
+// compare with SQL-LIKE patterns, e.g. WHERE $b/CourseName = '%Database%'.
+// When one side of an equality is a string literal containing '%', the
+// comparison is performed as a LIKE match (see eval.go).
+package xquery
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexical tokens.
+type tokenKind int
+
+const (
+	tokEOF     tokenKind = iota
+	tokName              // identifiers and keywords (case-insensitive keywords)
+	tokVar               // $name
+	tokString            // 'x' or "x"
+	tokNumber            // 123 or 1.5
+	tokOp                // operators and punctuation
+	tokTagOpen           // "<" immediately followed by a name: element constructor
+)
+
+// token is one lexical token with its source offset for error reporting.
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// SyntaxError reports a lexing or parsing failure with its offset.
+type SyntaxError struct {
+	Pos int
+	Msg string
+}
+
+// Error implements error.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("xquery: syntax error at offset %d: %s", e.Pos, e.Msg)
+}
+
+// lexer produces tokens on demand. The parser can reposition it (setPos)
+// after scanning a direct element constructor, which uses markup rules the
+// token grammar does not cover.
+type lexer struct {
+	src string
+	pos int
+}
+
+// setPos repositions the lexer; used after raw markup scans.
+func (l *lexer) setPos(p int) { l.pos = p }
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	l.skipSpace()
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case c == '$':
+		l.pos++
+		name := l.scanName()
+		if name == "" {
+			return token{}, &SyntaxError{Pos: start, Msg: "expected variable name after $"}
+		}
+		return token{kind: tokVar, text: name, pos: start}, nil
+	case c == '\'' || c == '"':
+		s, err := l.scanString(c)
+		if err != nil {
+			return token{}, err
+		}
+		return token{kind: tokString, text: s, pos: start}, nil
+	case unicode.IsDigit(rune(c)):
+		return token{kind: tokNumber, text: l.scanNumber(), pos: start}, nil
+	case isNameStart(c):
+		return token{kind: tokName, text: l.scanName(), pos: start}, nil
+	case c == '<':
+		// "<name" begins a direct element constructor; anything else is the
+		// less-than operator (possibly "<=").
+		if l.pos+1 < len(l.src) && isNameStart(l.src[l.pos+1]) {
+			l.pos++
+			return token{kind: tokTagOpen, text: "<", pos: start}, nil
+		}
+		if strings.HasPrefix(l.src[l.pos:], "<=") {
+			l.pos += 2
+			return token{kind: tokOp, text: "<=", pos: start}, nil
+		}
+		l.pos++
+		return token{kind: tokOp, text: "<", pos: start}, nil
+	default:
+		op := l.scanOp()
+		if op == "" {
+			return token{}, &SyntaxError{Pos: start, Msg: fmt.Sprintf("unexpected character %q", c)}
+		}
+		return token{kind: tokOp, text: op, pos: start}, nil
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		// (: comment :)
+		if strings.HasPrefix(l.src[l.pos:], "(:") {
+			end := strings.Index(l.src[l.pos+2:], ":)")
+			if end < 0 {
+				l.pos = len(l.src)
+				return
+			}
+			l.pos += 2 + end + 2
+			continue
+		}
+		return
+	}
+}
+
+func isNameStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isNameChar(c byte) bool {
+	return isNameStart(c) || (c >= '0' && c <= '9') || c == '.' || c == ':'
+}
+
+// scanName reads an XML-style name. A '-' is included only when followed by
+// a letter, so "starts-with" lexes as one name but "$a -1" does not.
+func (l *lexer) scanName() string {
+	start := l.pos
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if isNameChar(c) {
+			l.pos++
+			continue
+		}
+		if c == '-' && l.pos+1 < len(l.src) && isNameStart(l.src[l.pos+1]) && l.pos > start {
+			l.pos++
+			continue
+		}
+		break
+	}
+	return l.src[start:l.pos]
+}
+
+func (l *lexer) scanString(quote byte) (string, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == quote {
+			// Doubled quote is an escaped quote, per XQuery.
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == quote {
+				b.WriteByte(quote)
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return b.String(), nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return "", &SyntaxError{Pos: start, Msg: "unterminated string literal"}
+}
+
+func (l *lexer) scanNumber() string {
+	start := l.pos
+	for l.pos < len(l.src) && (unicode.IsDigit(rune(l.src[l.pos])) || l.src[l.pos] == '.') {
+		l.pos++
+	}
+	return l.src[start:l.pos]
+}
+
+// scanOp reads a single operator token.
+func (l *lexer) scanOp() string {
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "!=", ">=", "<=", ":=", "//":
+		l.pos += 2
+		return two
+	}
+	switch c := l.src[l.pos]; c {
+	case '=', '>', '<', '/', '(', ')', ',', '+', '-', '*', '[', ']', '@', '{', '}':
+		l.pos++
+		return string(c)
+	}
+	return ""
+}

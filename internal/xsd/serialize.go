@@ -1,0 +1,127 @@
+package xsd
+
+import (
+	"fmt"
+	"strconv"
+
+	"thalia/internal/xmldom"
+)
+
+// ToXML renders the schema in xs: syntax, in the nested style the THALIA
+// web site publishes alongside each extracted catalog (Figure 3).
+func (s *Schema) ToXML() *xmldom.Document {
+	root := xmldom.NewElement("xs:schema")
+	root.SetAttr("xmlns:xs", "http://www.w3.org/2001/XMLSchema")
+	if s.Source != "" {
+		root.SetAttr("source", s.Source)
+	}
+	if s.Root != nil {
+		root.Append(declToXML(s.Root, true))
+	}
+	return xmldom.NewDocument(root)
+}
+
+// Encode returns the schema serialized as an indented xs: document.
+func (s *Schema) Encode() string { return s.ToXML().Encode() }
+
+func declToXML(d *ElementDecl, isRoot bool) *xmldom.Element {
+	el := xmldom.NewElement("xs:element").SetAttr("name", d.Name)
+	if !isRoot {
+		if d.MinOccurs == 0 {
+			el.SetAttr("minOccurs", "0")
+		}
+		if d.MaxOccurs == Unbounded {
+			el.SetAttr("maxOccurs", "unbounded")
+		}
+	}
+	if d.Type != TypeComplex && len(d.Attributes) == 0 {
+		el.SetAttr("type", d.Type.String())
+		return el
+	}
+	ct := xmldom.NewElement("xs:complexType")
+	if d.Mixed {
+		ct.SetAttr("mixed", "true")
+	}
+	if len(d.Children) > 0 {
+		seq := xmldom.NewElement("xs:sequence")
+		for _, c := range d.Children {
+			seq.Append(declToXML(c, false))
+		}
+		ct.Append(seq)
+	}
+	for _, a := range d.Attributes {
+		at := xmldom.NewElement("xs:attribute").
+			SetAttr("name", a.Name).
+			SetAttr("type", a.Type.String())
+		if a.Required {
+			at.SetAttr("use", "required")
+		}
+		ct.Append(at)
+	}
+	el.Append(ct)
+	return el
+}
+
+// FromXML parses a schema previously produced by ToXML.
+func FromXML(doc *xmldom.Document) (*Schema, error) {
+	if doc == nil || doc.Root == nil || doc.Root.Name != "xs:schema" {
+		return nil, fmt.Errorf("xsd: not a schema document")
+	}
+	s := &Schema{Source: doc.Root.AttrValue("source")}
+	rootEl := doc.Root.Child("xs:element")
+	if rootEl == nil {
+		return nil, fmt.Errorf("xsd: schema has no root xs:element")
+	}
+	d, err := declFromXML(rootEl)
+	if err != nil {
+		return nil, err
+	}
+	s.Root = d
+	return s, nil
+}
+
+func declFromXML(el *xmldom.Element) (*ElementDecl, error) {
+	name, ok := el.Attr("name")
+	if !ok {
+		return nil, fmt.Errorf("xsd: xs:element missing name")
+	}
+	d := &ElementDecl{Name: name, MinOccurs: 1, MaxOccurs: 1}
+	if v := el.AttrValue("minOccurs"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return nil, fmt.Errorf("xsd: element %s: bad minOccurs %q", name, v)
+		}
+		d.MinOccurs = n
+	}
+	if v := el.AttrValue("maxOccurs"); v == "unbounded" {
+		d.MaxOccurs = Unbounded
+	}
+	ct := el.Child("xs:complexType")
+	if ct == nil {
+		d.Type = ParseType(el.AttrValue("type"))
+		return d, nil
+	}
+	d.Type = TypeComplex
+	d.Mixed = ct.AttrValue("mixed") == "true"
+	if seq := ct.Child("xs:sequence"); seq != nil {
+		for _, c := range seq.ChildrenNamed("xs:element") {
+			cd, err := declFromXML(c)
+			if err != nil {
+				return nil, err
+			}
+			d.Children = append(d.Children, cd)
+		}
+	}
+	for _, a := range ct.ChildrenNamed("xs:attribute") {
+		an, ok := a.Attr("name")
+		if !ok {
+			return nil, fmt.Errorf("xsd: element %s: xs:attribute missing name", name)
+		}
+		d.Attributes = append(d.Attributes, &AttrDecl{
+			Name:     an,
+			Type:     ParseType(a.AttrValue("type")),
+			Required: a.AttrValue("use") == "required",
+		})
+	}
+	return d, nil
+}

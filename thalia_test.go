@@ -1,0 +1,153 @@
+package thalia
+
+import (
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestPublicSurface(t *testing.T) {
+	if n := len(Sources()); n < 25 {
+		t.Errorf("Sources() = %d, want 25+", n)
+	}
+	if n := len(Queries()); n != 12 {
+		t.Errorf("Queries() = %d, want 12", n)
+	}
+	if n := len(Heterogeneities()); n != 12 {
+		t.Errorf("Heterogeneities() = %d, want 12", n)
+	}
+	src, err := LookupSource("brown")
+	if err != nil || src.University != "Brown University" {
+		t.Errorf("LookupSource: %v, %v", src, err)
+	}
+	if _, err := LookupSource("ghost"); err == nil {
+		t.Error("expected lookup error")
+	}
+	q, err := QueryByID(6)
+	if err != nil || !strings.Contains(q.Name, "textbook") {
+		t.Errorf("QueryByID(6): %v %v", q, err)
+	}
+	info, err := DescribeHeterogeneity(Heterogeneities()[4])
+	if err != nil || info.Name != "Language Expression" {
+		t.Errorf("DescribeHeterogeneity: %+v %v", info, err)
+	}
+}
+
+func TestEvaluateThroughFacade(t *testing.T) {
+	cards, err := EvaluateAll(NewCohera(), NewIWIZ(), NewReferenceMediator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cards) != 3 || cards[0].CorrectCount() != 12 {
+		t.Fatalf("ranking wrong: %v", cards)
+	}
+	out := Comparison(cards)
+	if !strings.Contains(out, "Cohera") || !strings.Contains(out, "IWIZ") {
+		t.Errorf("comparison: %s", out)
+	}
+	if s := Summary(cards[1]); !strings.Contains(s, "9/12") {
+		t.Errorf("summary: %s", s)
+	}
+}
+
+func TestEvalXQueryFacade(t *testing.T) {
+	seq, err := EvalXQuery(`FOR $b in doc("umass.xml")/umass/Course
+		WHERE $b/Number = "CS430" RETURN $b/Time`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != 1 || ItemString(seq[0]) != "16:00-17:15" {
+		t.Errorf("facade query: %v", seq)
+	}
+}
+
+// A custom system written against the public API: answers only query 1.
+type onlyQ1 struct{}
+
+func (onlyQ1) Name() string        { return "OnlyQ1" }
+func (onlyQ1) Description() string { return "answers only the synonym query" }
+func (onlyQ1) Answer(req Request) (*Answer, error) {
+	if req.QueryID != 1 {
+		return nil, ErrUnsupported
+	}
+	seq, err := EvalXQuery(`FOR $b in doc("gatech.xml")/gatech/Course
+		WHERE $b/Instructor = "Mark" RETURN $b/CourseNum`)
+	if err != nil {
+		return nil, err
+	}
+	rows := []Row{}
+	for _, item := range seq {
+		rows = append(rows, Row{"source": "gatech", "course": ItemString(item), "instructor": "Mark"})
+	}
+	// It forgets the challenge source, so it scores 0 on correctness.
+	return &Answer{Rows: rows, Effort: EffortNone}, nil
+}
+
+func TestCustomSystem(t *testing.T) {
+	card, err := Evaluate(onlyQ1{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if card.SupportedCount() != 1 {
+		t.Errorf("supported = %d", card.SupportedCount())
+	}
+	r := card.Result(1)
+	if r.Correct {
+		t.Error("half answer (reference side only) must not score the point")
+	}
+	if len(r.Missing) == 0 {
+		t.Error("missing rows should be diagnosed")
+	}
+	if !errors.Is(ErrUnsupported, ErrUnsupported) {
+		t.Error("sentinel identity")
+	}
+}
+
+func TestSiteHandlerFacade(t *testing.T) {
+	h := NewSiteHandler()
+	req := httptest.NewRequest("GET", "/", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "THALIA") {
+		t.Errorf("site: %d", rec.Code)
+	}
+}
+
+func TestResultXML(t *testing.T) {
+	doc := ResultXML(3, []Row{{"source": "umd", "course": "CMSC420", "title": "Data Structures"}})
+	out := doc.Encode()
+	if !strings.Contains(out, `source="umd"`) || !strings.Contains(out, "<title>Data Structures</title>") {
+		t.Errorf("ResultXML: %s", out)
+	}
+}
+
+func TestSchemaMatchFacade(t *testing.T) {
+	m := NewSchemaMatcher()
+	if c := m.MatchName("Lecturer"); string(c.Concept) != "instructor" {
+		t.Errorf("MatchName = %v", c)
+	}
+	report, err := RunSchemaMatchExperiment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Accuracy() < 0.85 {
+		t.Errorf("accuracy %.2f", report.Accuracy())
+	}
+}
+
+func TestDetectFacade(t *testing.T) {
+	dets, err := DetectHeterogeneities("gatech", "cmu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dets) == 0 {
+		t.Error("no detections for gatech vs cmu")
+	}
+	if _, err := DetectHeterogeneities("ghost", "cmu"); err == nil {
+		t.Error("unknown ref should error")
+	}
+	if _, err := DetectHeterogeneities("cmu", "ghost"); err == nil {
+		t.Error("unknown challenge should error")
+	}
+}
