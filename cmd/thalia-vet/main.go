@@ -1,0 +1,161 @@
+// Command thalia-vet is the repository's static-analysis gate. It runs two
+// heads and exits non-zero if either reports a finding:
+//
+// The query/schema head checks the benchmark's ground truth: every query
+// parses, every path step resolves against the schemas the catalogs
+// publish, variables are bound, functions exist, comparison operands unify
+// under the schema, the declarative mediation tables point at real schema
+// locations, the testbed sources materialize and validate, and the
+// hand-assigned complexity levels agree with the automatic estimate (or
+// carry a documented waiver).
+//
+// The Go head type-checks the module with go/types and runs repo-specific
+// analyzers: determinism (no time.Now, math/rand, or order-leaking map
+// iteration in generator code), panicpath (no panic reachable from the
+// exported API), and errcheck (no silently discarded errors in benchmark
+// and integration code).
+//
+// Usage:
+//
+//	thalia-vet [flags] [packages]
+//
+//	-json      emit findings as JSON instead of text
+//	-list      list the available checks and exit
+//	-queries   run only the query/schema head
+//	-go        run only the Go head
+//
+// The packages arguments are go list patterns for the Go head (default
+// ./...). Exit status: 0 no findings, 1 findings, 2 the analysis itself
+// failed.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"thalia/internal/analysis"
+	"thalia/internal/benchmark"
+	"thalia/internal/rewrite"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	list := flag.Bool("list", false, "list the available checks and exit")
+	queriesOnly := flag.Bool("queries", false, "run only the query/schema head")
+	goOnly := flag.Bool("go", false, "run only the Go analyzers")
+	flag.Parse()
+
+	if *list {
+		listChecks()
+		return
+	}
+	rep, err := run(*queriesOnly, *goOnly, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "thalia-vet:", err)
+		os.Exit(2)
+	}
+	rep.Sort()
+	if *jsonOut {
+		b, err := rep.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "thalia-vet:", err)
+			os.Exit(2)
+		}
+		fmt.Println(string(b))
+	} else {
+		fmt.Print(rep.Text())
+	}
+	if len(rep.Findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "thalia-vet: %d finding(s)\n", len(rep.Findings))
+		}
+		os.Exit(1)
+	}
+}
+
+func run(queriesOnly, goOnly bool, patterns []string) (*analysis.Report, error) {
+	root, err := moduleRoot()
+	if err != nil {
+		return nil, err
+	}
+	rep := &analysis.Report{}
+	if !goOnly {
+		queryHead(rep, root)
+	}
+	if !queriesOnly {
+		if err := goHead(rep, root, patterns); err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}
+
+// queryHead runs the benchmark/schema checks. Locators are best-effort:
+// without one the findings lose file positions, not substance.
+func queryHead(rep *analysis.Report, root string) {
+	qloc, err := analysis.LoadLocator(
+		filepath.Join(root, "internal/benchmark/queries.go"), "internal/benchmark/queries.go")
+	if err != nil {
+		qloc = nil
+	}
+	queries := benchmark.Queries()
+	rep.Add(analysis.CheckQueries(queries, analysis.QueryCheckConfig{Locator: qloc})...)
+	rep.Add(analysis.CheckComplexity(queries, nil, nil)...)
+	mloc, err := analysis.LoadLocator(
+		filepath.Join(root, "internal/rewrite/mappings.go"), "internal/rewrite/mappings.go")
+	if err != nil {
+		mloc = nil
+	}
+	rep.Add(analysis.CheckMappings(rewrite.NewMediator(), nil, mloc)...)
+	rep.Add(analysis.CheckCatalogs()...)
+}
+
+func goHead(rep *analysis.Report, root string, patterns []string) error {
+	pkgs, err := analysis.LoadGoPackages(root, patterns...)
+	if err != nil {
+		return err
+	}
+	rep.Add(analysis.RunGoAnalyzers(pkgs, analysis.DefaultGoAnalyzers())...)
+	return nil
+}
+
+// moduleRoot locates the enclosing module's root directory via the go
+// command, so thalia-vet works from any subdirectory of the repo.
+func moduleRoot() (string, error) {
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		return "", fmt.Errorf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("not inside a Go module")
+	}
+	return filepath.Dir(gomod), nil
+}
+
+func listChecks() {
+	var b bytes.Buffer
+	b.WriteString("query/schema head:\n")
+	for _, c := range [][2]string{
+		{"parse", "every benchmark query text parses"},
+		{"dead-path", "every path step resolves against the catalog schemas"},
+		{"unbound-var", "every $variable is bound by an enclosing for/let"},
+		{"unknown-func", "every called function is a builtin or declared external"},
+		{"type-unify", "comparison operands unify under the schema's types"},
+		{"complexity", "hand-assigned complexities match the automatic estimate (or are waived)"},
+		{"mapping", "mediation tables resolve against source schemas; global queries are fully mapped"},
+		{"catalog", "every source materializes, validates, and round-trips its schema"},
+	} {
+		fmt.Fprintf(&b, "  %-12s %s\n", c[0], c[1])
+	}
+	b.WriteString("go head:\n")
+	for _, a := range analysis.DefaultGoAnalyzers() {
+		fmt.Fprintf(&b, "  %-12s %s\n", a.Name, a.Doc)
+	}
+	fmt.Print(b.String())
+}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -63,6 +64,10 @@ func run(file string, testbed, xmlOut bool, args []string) error {
 	}
 	seq, err := xquery.EvalQuery(query, ctx)
 	if err != nil {
+		var pe *xquery.ParseError
+		if errors.As(err, &pe) && file != "" {
+			return fmt.Errorf("%s:%d:%d: %s", file, pe.Line, pe.Column, pe.Msg)
+		}
 		return err
 	}
 	for _, item := range seq {

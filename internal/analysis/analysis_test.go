@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestFindingString(t *testing.T) {
+	cases := []struct {
+		f    Finding
+		want string
+	}{
+		{Finding{Check: "dead-path", File: "a.go", Line: 3, Column: 7, QueryID: 2, Message: "boom"},
+			"a.go:3:7: [dead-path] query 2: boom"},
+		{Finding{Check: "catalog", Message: "boom"}, "[catalog] boom"},
+		{Finding{Check: "parse", File: "a.go", Message: "boom"}, "a.go: [parse] boom"},
+		{Finding{Check: "mapping", File: "a.go", Line: 9, Message: "boom"}, "a.go:9: [mapping] boom"},
+	}
+	for _, c := range cases {
+		if got := c.f.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestReportSortIsTotal(t *testing.T) {
+	r := &Report{Findings: []Finding{
+		{Check: "b", File: "z.go", Line: 1, Message: "m"},
+		{Check: "a", File: "a.go", Line: 9, Message: "m"},
+		{Check: "a", File: "a.go", Line: 2, Column: 5, Message: "m"},
+		{Check: "a", File: "a.go", Line: 2, Column: 1, Message: "m"},
+	}}
+	r.Sort()
+	want := []string{
+		"a.go:2:1: [a] m",
+		"a.go:2:5: [a] m",
+		"a.go:9: [a] m",
+		"z.go:1: [b] m",
+	}
+	for i, f := range r.Findings {
+		if f.String() != want[i] {
+			t.Errorf("finding %d = %q, want %q", i, f.String(), want[i])
+		}
+	}
+}
+
+func TestReportJSON(t *testing.T) {
+	r := &Report{}
+	b, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Findings []Finding `json:"findings"`
+	}
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Findings == nil {
+		t.Error("empty report must encode findings as [], not null")
+	}
+
+	r.Add(Finding{Check: "errcheck", File: "x.go", Line: 4, Message: "m"})
+	b, err = r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded.Findings) != 1 || decoded.Findings[0] != r.Findings[0] {
+		t.Errorf("JSON round trip = %+v, want %+v", decoded.Findings, r.Findings)
+	}
+}
+
+func TestSuggest(t *testing.T) {
+	candidates := []string{"Title", "Units", "Room", "@id"}
+	cases := map[string]string{
+		"title":     "Title", // case fold wins
+		"Titel":     "Title", // transposition
+		"Unis":      "Units",
+		"Professor": "", // nothing close
+		"@idd":      "@id",
+	}
+	for name, want := range cases {
+		if got := suggest(name, candidates); got != want {
+			t.Errorf("suggest(%q) = %q, want %q", name, got, want)
+		}
+	}
+}
+
+func TestLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0}, {"a", "", 1}, {"", "abc", 3},
+		{"kitten", "sitting", 3}, {"Title", "Titel", 2}, {"same", "same", 0},
+	}
+	for _, c := range cases {
+		if got := levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("levenshtein(%q, %q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,315 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"thalia/internal/benchmark"
+	"thalia/internal/mapping"
+	"thalia/internal/xquery"
+	"thalia/internal/xsd"
+)
+
+// This file implements thalia-vet's complexity cross-check. The benchmark
+// hand-assigns each query a complexity level (the weight of the hardest
+// external function the reference mediator needs, per the paper's Section 3
+// convention). That table is ground truth the scoring depends on, so the
+// analyzer recomputes an estimate from the query text and the
+// reference/challenge schema gap and fails on unexplained divergence.
+// Divergences with a documented explanation are waived — waivers are
+// first-class so the exceptions stay visible and go stale loudly.
+
+// ComplexityEstimate is the automatic complexity estimate for one query.
+type ComplexityEstimate struct {
+	QueryID int                       `json:"query"`
+	Level   benchmark.ComplexityLevel `json:"level"`
+	Score   int                       `json:"score"`
+	// ExtFuncs counts non-builtin function calls in the query text.
+	ExtFuncs int `json:"extFuncs"`
+	// FLWORDepth is the maximum FLWOR nesting depth.
+	FLWORDepth int `json:"flworDepth"`
+	// CtorCount counts constructed elements in the return clause.
+	CtorCount int `json:"ctorCount"`
+	// Translation reports that the challenge schema's vocabulary is in
+	// another language (its tags translate to different English tags).
+	Translation bool `json:"translation"`
+	// MissingNames are the query's field steps with no case-insensitive
+	// counterpart in the challenge schema's vocabulary.
+	MissingNames []string `json:"missingNames,omitempty"`
+}
+
+// Explain renders the estimate's derivation for finding messages.
+func (e ComplexityEstimate) Explain() string {
+	var parts []string
+	if e.ExtFuncs > 0 {
+		parts = append(parts, fmt.Sprintf("%d external function call(s)", e.ExtFuncs))
+	}
+	if e.FLWORDepth > 1 {
+		parts = append(parts, fmt.Sprintf("FLWOR nesting depth %d", e.FLWORDepth))
+	}
+	if e.CtorCount >= 3 {
+		parts = append(parts, fmt.Sprintf("%d constructed elements", e.CtorCount))
+	}
+	if e.Translation {
+		parts = append(parts, "challenge schema requires language translation")
+	}
+	if len(e.MissingNames) > 0 {
+		parts = append(parts, fmt.Sprintf("field name(s) %s absent from challenge schema",
+			strings.Join(e.MissingNames, ", ")))
+	}
+	if len(parts) == 0 {
+		parts = append(parts, "challenge schema covers every referenced field")
+	}
+	return strings.Join(parts, "; ")
+}
+
+// EstimateComplexity derives a complexity estimate for a query against the
+// challenge schema it must be answered over. The score model:
+//
+//	score = extFuncs                         // explicit escape hatches
+//	      + (flworDepth - 1)                 // nested restructuring
+//	      + ctorBonus                        // heavy result reshaping (≥3 ctors)
+//	      + gap                              // reference/challenge schema gap
+//
+// where gap is 3 when the challenge vocabulary is in another language
+// (every tag must be translated before any mapping is even possible), else
+// the number of query field names with no case-insensitive counterpart in
+// the challenge schema, capped at 2. The level is min(score, 3).
+func EstimateComplexity(q *benchmark.Query, challenge *xsd.Schema) (ComplexityEstimate, error) {
+	est := ComplexityEstimate{QueryID: q.ID}
+	expr, err := xquery.Parse(q.XQuery)
+	if err != nil {
+		return est, fmt.Errorf("query %d does not parse: %w", q.ID, err)
+	}
+	est.ExtFuncs = countExternalCalls(expr)
+	est.FLWORDepth = flworDepth(expr)
+	est.CtorCount = ctorCount(expr)
+	est.Translation = schemaNeedsTranslation(challenge)
+
+	gap := 0
+	if est.Translation {
+		gap = 3
+	} else {
+		est.MissingNames = missingFieldNames(expr, challenge)
+		gap = len(est.MissingNames)
+		if gap > 2 {
+			gap = 2
+		}
+	}
+	est.Score = est.ExtFuncs + gap
+	if est.FLWORDepth > 1 {
+		est.Score += est.FLWORDepth - 1
+	}
+	if est.CtorCount >= 3 {
+		est.Score++
+	}
+	level := est.Score
+	if level > 3 {
+		level = 3
+	}
+	est.Level = benchmark.ComplexityLevel(level)
+	return est, nil
+}
+
+// countExternalCalls counts calls to functions outside the XQuery subset's
+// builtins — the textual footprint of the paper's external functions.
+func countExternalCalls(e xquery.Expr) int {
+	n := 0
+	xquery.Walk(e, func(x xquery.Expr) bool {
+		if c, ok := x.(*xquery.Call); ok && !xquery.IsBuiltin(c.Name) {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+// flworDepth computes the maximum FLWOR nesting depth.
+func flworDepth(e xquery.Expr) int {
+	max := 0
+	var walk func(x xquery.Expr, depth int)
+	walk = func(x xquery.Expr, depth int) {
+		if _, ok := x.(*xquery.FLWOR); ok {
+			depth++
+			if depth > max {
+				max = depth
+			}
+		}
+		d := depth
+		xquery.Walk(x, func(y xquery.Expr) bool {
+			if y == x {
+				return true
+			}
+			walk(y, d)
+			return false
+		})
+	}
+	walk(e, 0)
+	return max
+}
+
+// ctorCount counts constructed elements.
+func ctorCount(e xquery.Expr) int {
+	n := 0
+	xquery.Walk(e, func(x xquery.Expr) bool {
+		if _, ok := x.(*xquery.ElemCtor); ok {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+// schemaNeedsTranslation reports whether a schema's element vocabulary is
+// in a language the testbed's lexicons cover: some tag translates to a
+// different English tag, so answering any reference-schema query over it
+// needs a high-complexity translation function first.
+func schemaNeedsTranslation(s *xsd.Schema) bool {
+	if s == nil {
+		return false
+	}
+	lexicons := []*mapping.Lexicon{mapping.NewGermanLexicon(), mapping.NewFrenchLexicon()}
+	for _, name := range s.Vocabulary() {
+		name = strings.TrimPrefix(name, "@")
+		for _, lex := range lexicons {
+			if en := lex.TranslateTag(name); !strings.EqualFold(en, name) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// missingFieldNames collects the query's field steps — path steps taken
+// from a bound variable, i.e. everything except the doc()-rooted navigation
+// that selects the row set — that have no case-insensitive counterpart in
+// the challenge schema's vocabulary. Each missing name is a concept the
+// integrator must discover somewhere else in the challenge schema.
+func missingFieldNames(e xquery.Expr, challenge *xsd.Schema) []string {
+	if challenge == nil {
+		return nil
+	}
+	vocab := challenge.Vocabulary()
+	inVocab := func(name string) bool {
+		for _, v := range vocab {
+			if strings.EqualFold(strings.TrimPrefix(v, "@"), name) {
+				return true
+			}
+		}
+		return false
+	}
+	seen := map[string]bool{}
+	var missing []string
+	xquery.Walk(e, func(x xquery.Expr) bool {
+		p, ok := x.(*xquery.PathExpr)
+		if !ok {
+			return true
+		}
+		if _, fromDoc := docRoot(p); fromDoc {
+			return true // row-set navigation, not a field reference
+		}
+		for _, st := range p.Steps {
+			if st.Name == "*" || seen[st.Name] {
+				continue
+			}
+			seen[st.Name] = true
+			if !inVocab(st.Name) {
+				missing = append(missing, st.Name)
+			}
+		}
+		return true
+	})
+	sort.Strings(missing)
+	return missing
+}
+
+// docRoot reports whether a path is rooted at a doc() call.
+func docRoot(p *xquery.PathExpr) (*xquery.Call, bool) {
+	c, ok := p.Root.(*xquery.Call)
+	if ok && strings.EqualFold(c.Name, "doc") {
+		return c, true
+	}
+	return nil, false
+}
+
+// ComplexityWaiver documents an accepted divergence between the estimator
+// and the hand-assigned table for one query.
+type ComplexityWaiver struct {
+	// Estimated is the level the estimator is expected to produce; a waiver
+	// only applies while the estimate still matches it.
+	Estimated benchmark.ComplexityLevel
+	// Reason explains, for a human, why the hand-assigned level is right
+	// and the estimate is off.
+	Reason string
+}
+
+// DefaultComplexityWaivers documents the two places the textual estimator
+// is known to diverge from the reference mediator's accounting.
+var DefaultComplexityWaivers = map[int]ComplexityWaiver{
+	1: {
+		Estimated: benchmark.ComplexityLow,
+		Reason: "query 1's Instructor→Lecturer gap is a pure synonym: the mediator " +
+			"resolves it by declarative renaming with no external function, so the " +
+			"hand-assigned level is none although the estimator counts one missing field name",
+	},
+	3: {
+		Estimated: benchmark.ComplexityLow,
+		Reason: "query 3's union-type heterogeneity hides inside brown's mixed Title " +
+			"content (string vs. embedded hyperlink), which the vocabulary diff cannot " +
+			"see; decomposing it takes a medium-complexity external function",
+	},
+}
+
+// CheckComplexity diffs the hand-assigned complexity table against the
+// automatic estimates and reports unexplained divergence, unknown or stale
+// waivers, and estimator failures. schemaFor defaults to the testbed's
+// catalogs; waivers defaults to DefaultComplexityWaivers.
+func CheckComplexity(queries []*benchmark.Query, schemaFor func(string) (*xsd.Schema, error), waivers map[int]ComplexityWaiver) []Finding {
+	if schemaFor == nil {
+		schemaFor = CatalogSchemaFor
+	}
+	if waivers == nil {
+		waivers = DefaultComplexityWaivers
+	}
+	hand := benchmark.HandAssignedComplexity()
+	var out []Finding
+	for _, q := range queries {
+		challenge, err := schemaFor(q.ChallengeSource)
+		if err != nil {
+			out = append(out, Finding{Check: "complexity", QueryID: q.ID,
+				Message: fmt.Sprintf("cannot load challenge schema %q: %v", q.ChallengeSource, err)})
+			continue
+		}
+		est, err := EstimateComplexity(q, challenge)
+		if err != nil {
+			out = append(out, Finding{Check: "complexity", QueryID: q.ID, Message: err.Error()})
+			continue
+		}
+		assigned, ok := hand[q.ID]
+		if !ok {
+			out = append(out, Finding{Check: "complexity", QueryID: q.ID,
+				Message: "no hand-assigned complexity level"})
+			continue
+		}
+		w, waived := waivers[q.ID]
+		switch {
+		case est.Level == assigned && !waived:
+			// Agreement, nothing to report.
+		case est.Level == assigned && waived:
+			out = append(out, Finding{Check: "complexity", QueryID: q.ID,
+				Message: fmt.Sprintf("stale waiver: estimate now agrees with hand-assigned level %s — delete the waiver", assigned)})
+		case waived && est.Level == w.Estimated:
+			// Documented divergence, still accurate.
+		case waived:
+			out = append(out, Finding{Check: "complexity", QueryID: q.ID,
+				Message: fmt.Sprintf("waiver out of date: waiver expects estimate %s but estimator now says %s (hand-assigned %s; %s)",
+					w.Estimated, est.Level, assigned, est.Explain())})
+		default:
+			out = append(out, Finding{Check: "complexity", QueryID: q.ID,
+				Message: fmt.Sprintf("complexity divergence: estimated %s but hand-assigned %s (%s) — fix the table or add a documented waiver",
+					est.Level, assigned, est.Explain())})
+		}
+	}
+	return out
+}

@@ -1,0 +1,212 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeFixtureModule lays out a throwaway module seeded with the defects
+// the Go head must catch, and returns its root directory.
+func writeFixtureModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module fixture\n\ngo 1.24\n",
+		"gen/gen.go": `package gen
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Stamp is nondeterministic: wall clock in generator code.
+func Stamp() string { return time.Now().String() }
+
+// Pick is nondeterministic: map order leaks into the returned slice.
+func Pick(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Sorted is fine: the function sorts what it collected.
+func Sorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Tally is fine: the map range only feeds another map.
+func Tally(m map[string]int) map[string]bool {
+	out := map[string]bool{}
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}
+
+// Render is nondeterministic: map order leaks into a builder.
+func Render(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+// Seed uses math/rand (already flagged at the import).
+func Seed() int { return rand.Int() }
+`,
+		"lib/lib.go": `package lib
+
+import "errors"
+
+// Parse panics via a helper: reachable from an exported entry point.
+func Parse(s string) string { return inner(s) }
+
+func inner(s string) string {
+	if s == "" {
+		panic("empty input")
+	}
+	return s
+}
+
+// MustGet panics by contract; the Must prefix exempts it as a root.
+func MustGet() string { panic("must") }
+
+// orphan panics but nothing exported reaches it.
+func orphan() { panic("unreachable") }
+
+func fail() error { return errors.New("boom") }
+
+// Drop discards fail's error: an errcheck finding.
+func Drop() { fail() }
+
+// Keep handles the error properly.
+func Keep() error { return fail() }
+
+var _ = orphan
+`,
+	}
+	for name, content := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestGoAnalyzersOnFixture pins what each Go analyzer reports on a module
+// seeded with exactly the defect classes thalia-vet exists to catch — and
+// what it stays silent about.
+func TestGoAnalyzersOnFixture(t *testing.T) {
+	dir := writeFixtureModule(t)
+	pkgs, err := LoadGoPackages(dir, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("loaded %d packages, want 2", len(pkgs))
+	}
+
+	analyzers := []*GoAnalyzer{
+		DeterminismFor([]string{"fixture/gen"}),
+		PanicPath(),
+		ErrCheckFor([]string{"fixture/lib"}),
+	}
+	rep := &Report{Findings: RunGoAnalyzers(pkgs, analyzers)}
+	rep.Sort()
+
+	wantSubstrings := []string{
+		`gen/gen.go:4:2: [determinism] import of math/rand in deterministic generator code`,
+		`gen/gen.go:11:30: [determinism] time.Now in deterministic generator code`,
+		`gen/gen.go:16:2: [determinism] map iteration order leaks into ordered output in Pick (sort the keys first)`,
+		`gen/gen.go:44:2: [determinism] map iteration order leaks into ordered output in Render (sort the keys first)`,
+		`lib/lib.go:10:3: [panicpath] panic reachable from exported API: lib.Parse → lib.inner`,
+		`lib/lib.go:24:15: [errcheck] result of fail() contains an error that is silently discarded`,
+	}
+	got := strings.TrimSpace(rep.Text())
+	gotLines := strings.Split(got, "\n")
+	if len(gotLines) != len(wantSubstrings) {
+		t.Fatalf("got %d findings, want %d:\n%s", len(gotLines), len(wantSubstrings), got)
+	}
+	for i, want := range wantSubstrings {
+		if gotLines[i] != want {
+			t.Errorf("finding %d = %q, want %q", i, gotLines[i], want)
+		}
+	}
+}
+
+// TestGoAnalyzersFixtureSilence spells out the negative space of the
+// fixture test: no findings for sorted or map-to-map iterations, for the
+// Must-prefixed panic, for the unreachable panic, or for handled errors.
+func TestGoAnalyzersFixtureSilence(t *testing.T) {
+	dir := writeFixtureModule(t)
+	pkgs, err := LoadGoPackages(dir, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyzers := []*GoAnalyzer{
+		DeterminismFor([]string{"fixture/gen"}),
+		PanicPath(),
+		ErrCheckFor([]string{"fixture/lib"}),
+	}
+	for _, f := range RunGoAnalyzers(pkgs, analyzers) {
+		for _, quiet := range []string{"Sorted", "Tally", "MustGet", "orphan", "Keep"} {
+			if strings.Contains(f.Message, quiet) {
+				t.Errorf("unexpected finding about %s: %s", quiet, f)
+			}
+		}
+	}
+}
+
+// TestGoAnalyzersRepoClean is the acceptance gate for the Go head: the
+// whole repository analyzes clean with the default analyzer set, i.e.
+// thalia-vet passing on this codebase is a checked invariant, not luck.
+func TestGoAnalyzersRepoClean(t *testing.T) {
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := LoadGoPackages(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 15 {
+		t.Fatalf("loaded only %d packages from the repo", len(pkgs))
+	}
+	for _, f := range RunGoAnalyzers(pkgs, DefaultGoAnalyzers()) {
+		t.Errorf("unexpected finding: %s", f)
+	}
+}
+
+// TestLoadGoPackagesPositions: findings must be reported with repo-relative
+// paths, which requires the loader to record the module root.
+func TestLoadGoPackagesPositions(t *testing.T) {
+	dir := writeFixtureModule(t)
+	pkgs, err := LoadGoPackages(dir, "./gen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	file, line, _ := p.Position(p.Files[0].Package)
+	if file != "gen/gen.go" || line != 1 {
+		t.Errorf("Position = %s:%d, want gen/gen.go:1", file, line)
+	}
+}

@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoAnalyzer is one check over type-checked Go packages — the Go head's
+// analogue of a go vet analyzer, scoped to this repository's invariants.
+type GoAnalyzer struct {
+	// Name is the check name findings carry.
+	Name string
+	// Doc is a one-line description for thalia-vet's -list output.
+	Doc string
+	// Run analyzes the packages together (some checks, like call-graph
+	// reachability, are whole-program) and returns findings.
+	Run func(pkgs []*GoPackage) []Finding
+}
+
+// DefaultGoAnalyzers returns the Go head's standard analyzer set.
+func DefaultGoAnalyzers() []*GoAnalyzer {
+	return []*GoAnalyzer{Determinism(), PanicPath(), ErrCheck()}
+}
+
+// RunGoAnalyzers runs every analyzer over the packages and merges findings.
+func RunGoAnalyzers(pkgs []*GoPackage, analyzers []*GoAnalyzer) []Finding {
+	var out []Finding
+	for _, a := range analyzers {
+		out = append(out, a.Run(pkgs)...)
+	}
+	return out
+}
+
+// inScope reports whether a package is one of the listed import paths.
+func inScope(p *GoPackage, scope []string) bool {
+	for _, s := range scope {
+		if p.ImportPath == s {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeOf resolves the function object a call expression invokes, when it
+// is statically known: a plain function, a method called on a concrete
+// receiver, or a builtin. Calls through interfaces or function values
+// resolve to nil.
+func calleeOf(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fn]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fn]; ok {
+			return sel.Obj()
+		}
+		return info.Uses[fn.Sel] // package-qualified call
+	}
+	return nil
+}
+
+// funcFor resolves the *types.Func a declaration defines.
+func funcFor(info *types.Info, decl *ast.FuncDecl) *types.Func {
+	if obj, ok := info.Defs[decl.Name].(*types.Func); ok {
+		return obj
+	}
+	return nil
+}

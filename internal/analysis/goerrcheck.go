@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// ErrCheckScope lists the packages where a silently discarded error is a
+// correctness bug: the benchmark runner (a swallowed error turns a failing
+// query into a silently wrong score) and the integration layer it reports
+// through.
+var ErrCheckScope = []string{
+	"thalia/internal/benchmark",
+	"thalia/internal/integration",
+}
+
+// ErrCheck returns the analyzer that flags call statements whose error
+// result is dropped on the floor. Only bare expression statements are
+// flagged: an explicit `_ =` assignment is a visible, reviewable decision,
+// and strings.Builder/bytes.Buffer writers (whose Write methods are
+// documented never to fail) are exempt.
+func ErrCheck() *GoAnalyzer { return ErrCheckFor(ErrCheckScope) }
+
+// ErrCheckFor scopes the errcheck analyzer to the given import paths.
+func ErrCheckFor(scope []string) *GoAnalyzer {
+	return &GoAnalyzer{
+		Name: "errcheck",
+		Doc:  "error returns must not be silently discarded in benchmark and integration code",
+		Run: func(pkgs []*GoPackage) []Finding {
+			var out []Finding
+			for _, p := range pkgs {
+				if !inScope(p, scope) {
+					continue
+				}
+				out = append(out, runErrCheck(p)...)
+			}
+			return out
+		},
+	}
+}
+
+func runErrCheck(p *GoPackage) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			tv, ok := p.Info.Types[call]
+			if !ok || !returnsError(tv.Type) || infallibleWriter(p, call) {
+				return true
+			}
+			file, line, col := p.Position(call.Pos())
+			out = append(out, Finding{Check: "errcheck", File: file, Line: line, Column: col,
+				Message: fmt.Sprintf("result of %s contains an error that is silently discarded", callName(p, call))})
+			return true
+		})
+	}
+	return out
+}
+
+// returnsError reports whether a call result type carries an error (the
+// sole result, or the last element of a tuple).
+func returnsError(t types.Type) bool {
+	if tup, ok := t.(*types.Tuple); ok {
+		if tup.Len() == 0 {
+			return false
+		}
+		t = tup.At(tup.Len() - 1).Type()
+	}
+	errIface, ok := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	return types.Implements(t, errIface)
+}
+
+// infallibleWriter exempts methods on strings.Builder and bytes.Buffer and
+// fmt.Fprint* calls writing to them: their error results are documented to
+// always be nil.
+func infallibleWriter(p *GoPackage, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if s, ok := p.Info.Selections[sel]; ok {
+		return isBuilderType(s.Recv())
+	}
+	// fmt.Fprint/Fprintf/Fprintln with a builder/buffer writer.
+	obj := p.Info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "fmt" || len(call.Args) == 0 {
+		return false
+	}
+	if tv, ok := p.Info.Types[call.Args[0]]; ok {
+		return isBuilderType(tv.Type)
+	}
+	return false
+}
+
+func isBuilderType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	full := obj.Pkg().Path() + "." + obj.Name()
+	return full == "strings.Builder" || full == "bytes.Buffer"
+}
+
+// callName renders the called function for a finding message.
+func callName(p *GoPackage, call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name + "()"
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return id.Name + "." + fun.Sel.Name + "()"
+		}
+		return fun.Sel.Name + "()"
+	}
+	return "call"
+}

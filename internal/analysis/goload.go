@@ -1,0 +1,159 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// This file loads Go packages for the Go head of thalia-vet using only the
+// standard library: the go command supplies the file lists and compiled
+// export data (`go list -export -deps -json`), go/parser parses the
+// sources, and go/types type-checks them with an importer that reads the
+// export data of dependencies. This is the same division of labour as
+// golang.org/x/tools/go/packages, without the dependency.
+
+// GoPackage is one parsed, type-checked package under analysis.
+type GoPackage struct {
+	// ImportPath is the package's import path (e.g. "thalia/internal/xsd").
+	ImportPath string
+	// Dir is the absolute directory holding the package's sources.
+	Dir string
+	// Root is the module root; finding positions are reported relative to it.
+	Root string
+	Fset *token.FileSet
+	// Files are the package's non-test source files.
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Position converts a token position to a root-relative file, line, column.
+func (p *GoPackage) Position(pos token.Pos) (file string, line, col int) {
+	ps := p.Fset.Position(pos)
+	file = ps.Filename
+	if rel, err := filepath.Rel(p.Root, ps.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		file = filepath.ToSlash(rel)
+	}
+	return file, ps.Line, ps.Column
+}
+
+// goListPkg is the subset of go list's JSON we consume.
+type goListPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	Standard   bool
+	GoFiles    []string
+}
+
+func goListJSON(dir string, extra ...string) ([]goListPkg, error) {
+	args := append([]string{"list", "-json=ImportPath,Name,Dir,Export,Standard,GoFiles"}, extra...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []goListPkg
+	for {
+		var p goListPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// LoadGoPackages loads, parses and type-checks the packages matching the
+// given go list patterns (e.g. "./..."), with dir as the module root.
+// Dependencies are imported from compiled export data, so only the matched
+// packages themselves are parsed.
+func LoadGoPackages(dir string, patterns ...string) ([]*GoPackage, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	// One walk with -deps -export collects export data for every
+	// dependency; a second plain walk tells targets from dependencies.
+	all, err := goListJSON(dir, append([]string{"-export", "-deps"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	targetList, err := goListJSON(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	targets := map[string]bool{}
+	for _, p := range targetList {
+		targets[p.ImportPath] = true
+	}
+	exports := map[string]string{}
+	for _, p := range all {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+
+	var out []*GoPackage
+	for _, p := range all {
+		if p.Standard || !targets[p.ImportPath] {
+			continue
+		}
+		fset := token.NewFileSet()
+		files := make([]*ast.File, 0, len(p.GoFiles))
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("parse %s: %v", name, err)
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		}
+		conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+		tpkg, err := conf.Check(p.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("typecheck %s: %v", p.ImportPath, err)
+		}
+		out = append(out, &GoPackage{
+			ImportPath: p.ImportPath,
+			Dir:        p.Dir,
+			Root:       dir,
+			Fset:       fset,
+			Files:      files,
+			Types:      tpkg,
+			Info:       info,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	return out, nil
+}

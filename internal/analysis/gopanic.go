@@ -1,0 +1,174 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"path"
+	"sort"
+	"strings"
+)
+
+// PanicPath returns the analyzer that proves no panic is reachable from the
+// exported API. It builds a static call graph over every loaded package
+// (calls resolved through go/types; interface and function-value dispatch
+// is out of scope and documented as such), takes every exported function
+// and exported-receiver method as a root — except Must* functions, whose
+// name is the contract that they panic — and walks the graph. A reachable
+// panic call is reported at the panic site together with a witness chain
+// from the root, so the report doubles as the repair plan: thread an error
+// up that chain.
+//
+// init functions are not roots: a panic guarding package initialization
+// (e.g. a duplicate registration) fires at program start deterministically,
+// not in response to library input.
+func PanicPath() *GoAnalyzer {
+	return &GoAnalyzer{
+		Name: "panicpath",
+		Doc:  "no panic may be reachable from exported non-Must entry points",
+		Run:  runPanicPath,
+	}
+}
+
+// panicNode is one declared function in the call graph.
+type panicNode struct {
+	key     string // types.Func.FullName, stable across packages
+	display string // short human name, e.g. "xquery.Parse"
+	pkg     *GoPackage
+	root    bool
+	panics  []*ast.CallExpr
+	callees []string
+}
+
+func runPanicPath(pkgs []*GoPackage) []Finding {
+	nodes := map[string]*panicNode{}
+	var order []string
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				decl, ok := d.(*ast.FuncDecl)
+				if !ok || decl.Body == nil {
+					continue
+				}
+				obj := funcFor(p.Info, decl)
+				if obj == nil {
+					continue
+				}
+				n := &panicNode{
+					key:     obj.FullName(),
+					display: path.Base(p.ImportPath) + "." + declName(decl),
+					pkg:     p,
+					root:    isPanicRoot(p, decl, obj),
+				}
+				ast.Inspect(decl.Body, func(x ast.Node) bool {
+					call, ok := x.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					switch callee := calleeOf(p.Info, call).(type) {
+					case *types.Builtin:
+						if callee.Name() == "panic" {
+							n.panics = append(n.panics, call)
+						}
+					case *types.Func:
+						n.callees = append(n.callees, callee.FullName())
+					}
+					return true
+				})
+				nodes[n.key] = n
+				order = append(order, n.key)
+			}
+		}
+	}
+
+	// Breadth-first reachability from all roots at once, keeping one witness
+	// parent per node so findings can print a chain.
+	parent := map[string]string{}
+	var queue []string
+	sort.Strings(order)
+	for _, key := range order {
+		if nodes[key].root {
+			parent[key] = ""
+			queue = append(queue, key)
+		}
+	}
+	for len(queue) > 0 {
+		key := queue[0]
+		queue = queue[1:]
+		for _, callee := range nodes[key].callees {
+			if _, seen := parent[callee]; seen {
+				continue
+			}
+			if _, ours := nodes[callee]; !ours {
+				continue
+			}
+			parent[callee] = key
+			queue = append(queue, callee)
+		}
+	}
+
+	var out []Finding
+	for _, key := range order {
+		n := nodes[key]
+		if _, reachable := parent[key]; !reachable || len(n.panics) == 0 {
+			continue
+		}
+		chain := witnessChain(nodes, parent, key)
+		for _, call := range n.panics {
+			file, line, col := n.pkg.Position(call.Pos())
+			out = append(out, Finding{Check: "panicpath", File: file, Line: line, Column: col,
+				Message: fmt.Sprintf("panic reachable from exported API: %s", chain)})
+		}
+	}
+	return out
+}
+
+// isPanicRoot decides whether a declaration is an exported entry point:
+// exported name, exported receiver type (for methods), not a Must*
+// function, and not in a main package (commands expose nothing).
+func isPanicRoot(p *GoPackage, decl *ast.FuncDecl, obj *types.Func) bool {
+	if p.Types.Name() == "main" || !obj.Exported() || strings.HasPrefix(obj.Name(), "Must") {
+		return false
+	}
+	if recv := obj.Type().(*types.Signature).Recv(); recv != nil {
+		t := recv.Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok || !named.Obj().Exported() {
+			return false
+		}
+	}
+	return true
+}
+
+// witnessChain renders root → … → panicking function.
+func witnessChain(nodes map[string]*panicNode, parent map[string]string, key string) string {
+	var names []string
+	for key != "" {
+		if n, ok := nodes[key]; ok {
+			names = append(names, n.display)
+		}
+		key = parent[key]
+	}
+	for i, j := 0, len(names)-1; i < j; i, j = i+1, j-1 {
+		names[i], names[j] = names[j], names[i]
+	}
+	return strings.Join(names, " → ")
+}
+
+// declName renders a declaration's name with its receiver type.
+func declName(decl *ast.FuncDecl) string {
+	if decl.Recv == nil || len(decl.Recv.List) == 0 {
+		return decl.Name.Name
+	}
+	t := decl.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + decl.Name.Name
+	}
+	return decl.Name.Name
+}

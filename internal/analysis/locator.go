@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"os"
+	"strings"
+)
+
+// Locator maps query-level findings back to positions in the Go source file
+// that embeds the benchmark query texts (internal/benchmark/queries.go).
+// The XQuery AST carries no positions, so the locator works textually: it
+// finds the query's raw-string literal in the file, then the finding's
+// anchor substring inside that literal, and converts the resulting byte
+// offset to a 1-based line and column.
+type Locator struct {
+	path string // display path, as findings should print it
+	src  string
+}
+
+// NewLocator builds a locator over source text; path is the repo-relative
+// name findings will carry.
+func NewLocator(path, src string) *Locator { return &Locator{path: path, src: src} }
+
+// LoadLocator reads the file at osPath and labels findings with displayPath.
+func LoadLocator(osPath, displayPath string) (*Locator, error) {
+	b, err := os.ReadFile(osPath)
+	if err != nil {
+		return nil, err
+	}
+	return NewLocator(displayPath, string(b)), nil
+}
+
+// Path returns the display path findings should carry.
+func (l *Locator) Path() string { return l.path }
+
+// queryStart returns the byte offset of the query text's final occurrence
+// in the file. The runnable XQuery normalization is declared after the
+// paper's illustrative text, so when both are identical the last occurrence
+// is the runnable one.
+func (l *Locator) queryStart(queryText string) (int, bool) {
+	off := strings.LastIndex(l.src, queryText)
+	return off, off >= 0
+}
+
+// lineCol converts a byte offset in the file to a 1-based line and column.
+func (l *Locator) lineCol(off int) (line, col int) {
+	line = 1 + strings.Count(l.src[:off], "\n")
+	col = off - strings.LastIndex(l.src[:off], "\n")
+	return line, col
+}
+
+// Position locates the first word-delimited occurrence of needle within
+// queryText and returns its file position. A zero line means the query (or
+// the needle) could not be located.
+func (l *Locator) Position(queryText, needle string) (line, col int) {
+	start, ok := l.queryStart(queryText)
+	if !ok {
+		return 0, 0
+	}
+	if needle == "" {
+		return l.lineCol(start)
+	}
+	rel := indexWord(queryText, needle)
+	if rel < 0 {
+		return l.lineCol(start)
+	}
+	return l.lineCol(start + rel)
+}
+
+// Find locates the first word-delimited occurrence of needle anywhere in
+// the file. A zero line means absence.
+func (l *Locator) Find(needle string) (line, col int) {
+	if needle == "" {
+		return 0, 0
+	}
+	i := indexWord(l.src, needle)
+	if i < 0 {
+		return 0, 0
+	}
+	return l.lineCol(i)
+}
+
+// PositionInQuery converts a (line, column) pair relative to the query text
+// (as a ParseError reports it) into a file position.
+func (l *Locator) PositionInQuery(queryText string, qline, qcol int) (line, col int) {
+	start, ok := l.queryStart(queryText)
+	if !ok {
+		return 0, 0
+	}
+	sline, scol := l.lineCol(start)
+	if qline <= 1 {
+		return sline, scol + qcol - 1
+	}
+	return sline + qline - 1, qcol
+}
+
+// indexWord finds the first occurrence of needle in s that is not embedded
+// in a longer identifier, so that locating "Time" does not stop inside
+// "CourseTime". Falls back to plain Index when no delimited occurrence
+// exists.
+func indexWord(s, needle string) int {
+	for from := 0; from < len(s); {
+		i := strings.Index(s[from:], needle)
+		if i < 0 {
+			break
+		}
+		i += from
+		before := i == 0 || !isWordByte(s[i-1])
+		end := i + len(needle)
+		after := end >= len(s) || !isWordByte(s[end])
+		if before && after {
+			return i
+		}
+		from = i + 1
+	}
+	return strings.Index(s, needle)
+}
+
+func isWordByte(b byte) bool {
+	return b == '_' || ('0' <= b && b <= '9') || ('a' <= b && b <= 'z') || ('A' <= b && b <= 'Z')
+}

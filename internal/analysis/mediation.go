@@ -1,0 +1,199 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"thalia/internal/catalog"
+	"thalia/internal/rewrite"
+	"thalia/internal/xsd"
+)
+
+// This file checks the declarative mediation layer and the testbed itself.
+// The rewrite mediator is configured entirely by data — per-source mapping
+// tables and global query definitions — which means a misspelled path or a
+// renamed transform fails only at answer time, on the query that happens to
+// touch it. CheckMappings resolves every table entry against the source's
+// published schema statically. CheckCatalogs exercises the testbed's own
+// invariants: every source materializes, validates against its inferred
+// schema, and that schema survives a serialization round trip.
+
+// CheckMappings validates every mapping table of the mediator against the
+// schemas of the sources it mediates: the record element exists under the
+// source root, every field path resolves, every named transform is
+// registered, and every global query's fields are mapped (or declared
+// inapplicable) for every source it targets. loc, when non-nil, anchors
+// findings in the file holding the mapping tables.
+func CheckMappings(med *rewrite.Mediator, schemaFor func(string) (*xsd.Schema, error), loc *Locator) []Finding {
+	if schemaFor == nil {
+		schemaFor = CatalogSchemaFor
+	}
+	var out []Finding
+	add := func(needle, format string, args ...interface{}) {
+		f := Finding{Check: "mapping", Message: fmt.Sprintf(format, args...)}
+		if loc != nil {
+			f.File = loc.Path()
+			f.Line, f.Column = loc.Find(needle)
+		}
+		out = append(out, f)
+	}
+
+	for _, sm := range med.Mappings() {
+		sch, err := schemaFor(sm.Source)
+		if err != nil {
+			add(sm.Source, "mapping table for source %q: %v", sm.Source, err)
+			continue
+		}
+		record := sch.Root.Child(sm.Record)
+		if record == nil {
+			msg := fmt.Sprintf("source %s: record element %q is not a child of root %s",
+				sm.Source, sm.Record, sch.Root.Name)
+			if hint := suggest(sm.Record, childNames(sch.Root)); hint != "" && hint != sm.Record {
+				msg += fmt.Sprintf(" (did you mean %q?)", hint)
+			}
+			add(sm.Record, "%s", msg)
+			continue
+		}
+		for _, fm := range sm.Fields {
+			if fm.Path != "" && !pathResolves(record, fm.Path) {
+				msg := fmt.Sprintf("source %s, field %q: path %q does not resolve under %s/%s",
+					sm.Source, fm.Field, fm.Path, sch.Root.Name, sm.Record)
+				if hint := suggest(lastStep(fm.Path), sch.Vocabulary()); hint != "" && hint != lastStep(fm.Path) {
+					msg += fmt.Sprintf(" (did you mean %q?)", hint)
+				}
+				add(fm.Path, "%s", msg)
+			}
+			if fm.Transform != "" && !med.HasTransform(fm.Transform) {
+				add(fm.Transform, "source %s, field %q: unknown transform %q",
+					sm.Source, fm.Field, fm.Transform)
+			}
+		}
+	}
+
+	out = append(out, checkGlobalQueries(med, loc)...)
+	return out
+}
+
+// checkGlobalQueries verifies that every global benchmark query only asks
+// its target sources for fields they map or declare inapplicable.
+func checkGlobalQueries(med *rewrite.Mediator, loc *Locator) []Finding {
+	var out []Finding
+	gqs := rewrite.GlobalQueries()
+	ids := make([]int, 0, len(gqs))
+	for id := range gqs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		gq := gqs[id]
+		fields := map[string]bool{"source": true}
+		for _, f := range gq.Select {
+			fields[f] = true
+		}
+		for _, p := range gq.Where {
+			fields[p.Field] = true
+		}
+		for _, source := range gq.Sources {
+			sm, ok := med.Mapping(source)
+			if !ok {
+				f := Finding{Check: "mapping", QueryID: id,
+					Message: fmt.Sprintf("global query targets source %q, which has no mapping table", source)}
+				if loc != nil {
+					f.File = loc.Path()
+					f.Line, f.Column = loc.Find(source)
+				}
+				out = append(out, f)
+				continue
+			}
+			mapped := map[string]bool{"source": true}
+			for _, fm := range sm.Fields {
+				mapped[fm.Field] = true
+			}
+			for _, inap := range sm.Inapplicable {
+				mapped[inap] = true
+			}
+			var missing []string
+			for field := range fields {
+				if !mapped[field] {
+					missing = append(missing, field)
+				}
+			}
+			sort.Strings(missing)
+			for _, field := range missing {
+				f := Finding{Check: "mapping", QueryID: id,
+					Message: fmt.Sprintf("global query needs field %q from source %s, which neither maps it nor declares it inapplicable",
+						field, source)}
+				if loc != nil {
+					f.File = loc.Path()
+					f.Line, f.Column = loc.Find(field)
+				}
+				out = append(out, f)
+			}
+		}
+	}
+	return out
+}
+
+func childNames(d *xsd.ElementDecl) []string {
+	names := make([]string, len(d.Children))
+	for i, c := range d.Children {
+		names[i] = c.Name
+	}
+	return names
+}
+
+func lastStep(path string) string {
+	parts := strings.Split(path, "/")
+	return parts[len(parts)-1]
+}
+
+// pathResolves walks a slash path of child element names below a
+// declaration, mirroring rewrite's resolvePath over the schema.
+func pathResolves(d *xsd.ElementDecl, path string) bool {
+	cur := d
+	for _, step := range strings.Split(path, "/") {
+		cur = cur.Child(step)
+		if cur == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckCatalogs verifies the testbed's own invariants for every registered
+// source: the render→extract→infer pipeline succeeds, the extracted
+// document validates against the source's own inferred schema, and the
+// schema survives an xs: serialization round trip.
+func CheckCatalogs() []Finding {
+	var out []Finding
+	for _, s := range catalog.All() {
+		doc, err := s.Document()
+		if err != nil {
+			out = append(out, Finding{Check: "catalog",
+				Message: fmt.Sprintf("source %s does not materialize: %v", s.Name, err)})
+			continue
+		}
+		sch, err := s.Schema()
+		if err != nil {
+			out = append(out, Finding{Check: "catalog",
+				Message: fmt.Sprintf("source %s has no schema: %v", s.Name, err)})
+			continue
+		}
+		for _, verr := range sch.Validate(doc) {
+			out = append(out, Finding{Check: "catalog",
+				Message: fmt.Sprintf("source %s: document does not validate against its own schema: %v", s.Name, verr)})
+		}
+		back, err := xsd.FromXML(sch.ToXML())
+		if err != nil {
+			out = append(out, Finding{Check: "catalog",
+				Message: fmt.Sprintf("source %s: schema does not survive serialization round trip: %v", s.Name, err)})
+			continue
+		}
+		if got, want := back.Encode(), sch.Encode(); got != want {
+			out = append(out, Finding{Check: "catalog",
+				Message: fmt.Sprintf("source %s: schema changes across serialization round trip", s.Name)})
+		}
+	}
+	return out
+}

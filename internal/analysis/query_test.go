@@ -1,0 +1,246 @@
+package analysis
+
+import (
+	"reflect"
+	"testing"
+
+	"thalia/internal/benchmark"
+	"thalia/internal/xsd"
+)
+
+// testSchema is a small schema standing in for a catalog source:
+//
+//	uni
+//	└── Course (unbounded, @id)
+//	    ├── Title    xs:string
+//	    ├── Units    xs:integer
+//	    └── Room     xs:string
+func testSchema() *xsd.Schema {
+	return &xsd.Schema{Source: "test", Root: &xsd.ElementDecl{
+		Name: "uni", Type: xsd.TypeComplex, MinOccurs: 1, MaxOccurs: 1,
+		Children: []*xsd.ElementDecl{{
+			Name: "Course", Type: xsd.TypeComplex, MinOccurs: 1, MaxOccurs: xsd.Unbounded,
+			Attributes: []*xsd.AttrDecl{{Name: "id", Type: xsd.TypeString, Required: true}},
+			Children: []*xsd.ElementDecl{
+				{Name: "Title", Type: xsd.TypeString, MinOccurs: 1, MaxOccurs: 1},
+				{Name: "Units", Type: xsd.TypeInteger, MinOccurs: 1, MaxOccurs: 1},
+				{Name: "Room", Type: xsd.TypeString, MinOccurs: 1, MaxOccurs: 1},
+			},
+		}},
+	}}
+}
+
+func checkOne(t *testing.T, query string) []Finding {
+	t.Helper()
+	sch := testSchema()
+	qs := []*benchmark.Query{{ID: 99, XQuery: query}}
+	return CheckQueries(qs, QueryCheckConfig{
+		SchemaFor: func(uri string) (*xsd.Schema, error) { return sch, nil },
+	})
+}
+
+// TestCheckQueriesClean pins the absence of findings on well-formed queries:
+// child steps, descendant steps, attributes, predicates, order by, and
+// type-consistent comparisons.
+func TestCheckQueriesClean(t *testing.T) {
+	for _, query := range []string{
+		`FOR $b in doc("test.xml")/uni/Course WHERE $b/Title = '%Databases%' RETURN $b`,
+		`FOR $b in doc("test.xml")/uni/Course WHERE $b/Units > 10 ORDER BY $b/Title RETURN $b/Room`,
+		`FOR $b in doc("test.xml")//Course[Units > 3] RETURN $b/@id`,
+		`FOR $b in doc("test.xml")/uni/Course LET $t := $b/Title WHERE starts-with($t, 'Intro') RETURN $t`,
+		`FOR $b in doc("test.xml")/uni/Course WHERE $b/Units = '12' RETURN $b`,
+	} {
+		if fs := checkOne(t, query); len(fs) != 0 {
+			t.Errorf("query %q: unexpected findings %v", query, fs)
+		}
+	}
+}
+
+// TestCheckQueriesFindings pins the exact findings for seeded defects.
+func TestCheckQueriesFindings(t *testing.T) {
+	cases := []struct {
+		name  string
+		query string
+		want  []Finding
+	}{
+		{
+			name:  "misspelled step gets a case-fold suggestion",
+			query: `FOR $b in doc("test.xml")/uni/Course WHERE $b/title = '%DB%' RETURN $b`,
+			want: []Finding{{Check: "dead-path", QueryID: 99,
+				Message: `dead path: step "title" matches nothing under element Course (did you mean "Title"?)`}},
+		},
+		{
+			name:  "misspelled step gets an edit-distance suggestion",
+			query: `FOR $b in doc("test.xml")/uni/Course RETURN $b/Romo`,
+			want: []Finding{{Check: "dead-path", QueryID: 99,
+				Message: `dead path: step "Romo" matches nothing under element Course (did you mean "Room"?)`}},
+		},
+		{
+			name:  "misspelled attribute",
+			query: `FOR $b in doc("test.xml")/uni/Course RETURN $b/@idd`,
+			want: []Finding{{Check: "dead-path", QueryID: 99,
+				Message: `dead path: step "@idd" matches nothing under element Course (did you mean "@id"?)`}},
+		},
+		{
+			name:  "wrong root element",
+			query: `FOR $b in doc("test.xml")/unni/Course RETURN $b`,
+			want: []Finding{{Check: "dead-path", QueryID: 99,
+				Message: `dead path: step "unni" matches nothing under document root (root element is uni) (did you mean "uni"?)`}},
+		},
+		{
+			name:  "dead step inside a predicate",
+			query: `FOR $b in doc("test.xml")//Course[Titel = 'DB'] RETURN $b`,
+			want: []Finding{{Check: "dead-path", QueryID: 99,
+				Message: `dead path: step "Titel" matches nothing under element Course (did you mean "Title"?)`}},
+		},
+		{
+			name:  "unknown doc source",
+			query: `FOR $b in doc("nosuch.xml")/uni/Course RETURN $b`,
+			want: []Finding{{Check: "dead-path", QueryID: 99,
+				Message: `doc("nosuch.xml"): catalog: no schema for "nosuch.xml"`}},
+		},
+		{
+			name:  "unbound variable",
+			query: `FOR $b in doc("test.xml")/uni/Course WHERE $c/Title = 'DB' RETURN $b`,
+			want: []Finding{{Check: "unbound-var", QueryID: 99,
+				Message: `unbound variable $c`}},
+		},
+		{
+			name:  "unknown function with suggestion",
+			query: `FOR $b in doc("test.xml")/uni/Course WHERE strts-with($b/Title, 'A') RETURN $b`,
+			want: []Finding{{Check: "unknown-func", QueryID: 99,
+				Message: `unknown function strts-with() (did you mean "starts-with"?)`}},
+		},
+		{
+			name:  "LIKE pattern against a numeric element",
+			query: `FOR $b in doc("test.xml")/uni/Course WHERE $b/Units = '%ten%' RETURN $b`,
+			want: []Finding{{Check: "type-unify", QueryID: 99,
+				Message: `comparison "=" cannot unify: $b/Units is xs:decimal but "%ten%" is xs:string`}},
+		},
+		{
+			name:  "ordered comparison of string element and number",
+			query: `FOR $b in doc("test.xml")/uni/Course WHERE $b/Room > 10 RETURN $b`,
+			want: []Finding{{Check: "type-unify", QueryID: 99,
+				Message: `comparison ">" cannot unify: $b/Room is xs:string but 10 is xs:decimal`}},
+		},
+	}
+	sch := testSchema()
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			qs := []*benchmark.Query{{ID: 99, XQuery: tc.query}}
+			got := CheckQueries(qs, QueryCheckConfig{
+				SchemaFor: func(uri string) (*xsd.Schema, error) {
+					if uri != "test.xml" {
+						return nil, errNoSchema(uri)
+					}
+					return sch, nil
+				},
+			})
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("findings = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+type errNoSchema string
+
+func (e errNoSchema) Error() string { return `catalog: no schema for "` + string(e) + `"` }
+
+// TestCheckQueriesDeadStepDoesNotCascade: one dead step must produce one
+// finding, not a second complaint about each step after it.
+func TestCheckQueriesDeadStepDoesNotCascade(t *testing.T) {
+	fs := checkOne(t, `FOR $b in doc("test.xml")/uni/Corse/Title RETURN $b`)
+	if len(fs) != 1 {
+		t.Fatalf("got %d findings %v, want exactly 1", len(fs), fs)
+	}
+}
+
+// TestCheckQueriesParseFinding: a query that fails to parse becomes a parse
+// finding instead of aborting the whole check.
+func TestCheckQueriesParseFinding(t *testing.T) {
+	fs := checkOne(t, "FOR $b in doc(\"test.xml\")/uni/Course\nWHERE $b/Title = !! RETURN $b")
+	if len(fs) != 1 || fs[0].Check != "parse" {
+		t.Fatalf("findings = %v, want one parse finding", fs)
+	}
+}
+
+// TestLocatorPositions pins the file:line:column mapping from finding to
+// embedded query text.
+func TestLocatorPositions(t *testing.T) {
+	src := "package q\n\nvar query = `FOR $b in doc(\"test.xml\")/uni/Course\nWHERE $b/Titel = 'DB'\nRETURN $b`\n"
+	queryText := "FOR $b in doc(\"test.xml\")/uni/Course\nWHERE $b/Titel = 'DB'\nRETURN $b"
+	loc := NewLocator("q.go", src)
+
+	line, col := loc.Position(queryText, "Titel")
+	if line != 4 || col != 10 {
+		t.Errorf("Position(Titel) = %d:%d, want 4:10", line, col)
+	}
+	// Needle on the literal's first line: column offset by the declaration.
+	line, col = loc.Position(queryText, "Course")
+	if line != 3 || col != 44 {
+		t.Errorf("Position(Course) = %d:%d, want 3:44", line, col)
+	}
+	// ParseError-style query-relative coordinates.
+	line, col = loc.PositionInQuery(queryText, 2, 7)
+	if line != 4 || col != 7 {
+		t.Errorf("PositionInQuery(2,7) = %d:%d, want 4:7", line, col)
+	}
+	if l, _ := loc.Position("not present", "x"); l != 0 {
+		t.Errorf("Position on absent query = %d, want 0", l)
+	}
+}
+
+// TestLocatorWordBoundaries: locating "Time" must not land inside
+// "CourseTime".
+func TestLocatorWordBoundaries(t *testing.T) {
+	src := "var q = `RETURN $b/CourseTime $b/Time`"
+	loc := NewLocator("q.go", src)
+	_, col := loc.Position("RETURN $b/CourseTime $b/Time", "Time")
+	if want := len("var q = `RETURN $b/CourseTime $b/") + 1; col != want {
+		t.Errorf("Position(Time) col = %d, want %d", col, want)
+	}
+}
+
+// TestBenchmarkQueriesAnalyzeClean is the acceptance gate for the query
+// head on the real repository: every benchmark query resolves against the
+// real catalog schemas with zero findings.
+func TestBenchmarkQueriesAnalyzeClean(t *testing.T) {
+	loc, err := LoadLocator("../benchmark/queries.go", "internal/benchmark/queries.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := CheckQueries(benchmark.Queries(), QueryCheckConfig{Locator: loc})
+	for _, f := range fs {
+		t.Errorf("unexpected finding: %s", f)
+	}
+}
+
+// TestSeededTypoIsFoundWithPosition seeds a misspelling into a real query
+// and requires a dead-path finding that points into queries.go at the line
+// holding the typo — the acceptance criterion for the vet harness.
+func TestSeededTypoIsFoundWithPosition(t *testing.T) {
+	loc, err := LoadLocator("../benchmark/queries.go", "internal/benchmark/queries.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := benchmark.Queries()
+	q1 := qs[0]
+	// Simulate the typo in the file as well, so positions stay real: locate
+	// the pristine text, then check the typo'd query against real schemas.
+	q1.XQuery = "FOR $b in doc(\"gatech.xml\")/gatech/Course\nWHERE $b/Instrutor = \"Mark\"\nRETURN $b"
+	fs := CheckQueries([]*benchmark.Query{q1}, QueryCheckConfig{Locator: loc})
+	if len(fs) != 1 {
+		t.Fatalf("findings = %v, want exactly one", fs)
+	}
+	f := fs[0]
+	if f.Check != "dead-path" || f.QueryID != 1 {
+		t.Errorf("finding = %+v, want dead-path for query 1", f)
+	}
+	if f.File != "internal/benchmark/queries.go" {
+		t.Errorf("finding file = %q, want internal/benchmark/queries.go", f.File)
+	}
+	if want := `dead path: step "Instrutor" matches nothing under element Course (did you mean "Instructor"?)`; f.Message != want {
+		t.Errorf("message = %q, want %q", f.Message, want)
+	}
+}

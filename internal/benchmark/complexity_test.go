@@ -1,0 +1,75 @@
+package benchmark
+
+import (
+	"testing"
+
+	"thalia/internal/ufmw"
+	"thalia/internal/xquery"
+)
+
+func TestHandAssignedComplexityCoversAllQueries(t *testing.T) {
+	table := HandAssignedComplexity()
+	for _, q := range Queries() {
+		if _, ok := table[q.ID]; !ok {
+			t.Errorf("query %d has no hand-assigned complexity", q.ID)
+		}
+	}
+	if len(table) != len(Queries()) {
+		t.Errorf("table has %d entries, want %d", len(table), len(Queries()))
+	}
+}
+
+// TestHandAssignedMatchesReferenceMediator pins the hand-assigned levels to
+// the reference mediator's actual external-function usage: a query's level
+// must equal the complexity of the hardest function ufmw invokes for it.
+func TestHandAssignedMatchesReferenceMediator(t *testing.T) {
+	table := HandAssignedComplexity()
+	med := ufmw.New()
+	for _, q := range Queries() {
+		ans, err := med.Answer(q.Request())
+		if err != nil {
+			t.Fatalf("query %d: %v", q.ID, err)
+		}
+		max := 0
+		for _, f := range ans.Functions {
+			if f.Complexity > max {
+				max = f.Complexity
+			}
+		}
+		if got, want := int(table[q.ID]), max; got != want {
+			t.Errorf("query %d: hand-assigned %v (%d), reference mediator max function complexity %d",
+				q.ID, table[q.ID], got, want)
+		}
+	}
+}
+
+// TestQueriesParse guards the benchmark's ground truth: every runnable
+// query text must parse, and a deliberately broken query must come back as
+// a *ParseError with a real line/column position — not a panic.
+func TestQueriesParse(t *testing.T) {
+	for _, q := range Queries() {
+		if _, err := xquery.Parse(q.XQuery); err != nil {
+			t.Errorf("query %d does not parse: %v", q.ID, err)
+		}
+	}
+	_, err := xquery.Parse("FOR $b in doc(\"x\")/r/c\nWHERE $b/T = !! RETURN $b")
+	pe, ok := err.(*xquery.ParseError)
+	if !ok {
+		t.Fatalf("bad query error = %T (%v), want *xquery.ParseError", err, err)
+	}
+	if pe.Line != 2 || pe.Column == 0 {
+		t.Errorf("ParseError position = %d:%d, want line 2", pe.Line, pe.Column)
+	}
+}
+
+func TestComplexityLevelString(t *testing.T) {
+	for level, want := range map[ComplexityLevel]string{
+		ComplexityNone: "none", ComplexityLow: "low",
+		ComplexityMedium: "medium", ComplexityHigh: "high",
+		ComplexityLevel(9): "unknown",
+	} {
+		if got := level.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", int(level), got, want)
+		}
+	}
+}

@@ -187,8 +187,15 @@ func MatchRows(want, got []Row) (missing, extra []Row) {
 		}
 		extra = append(extra, r)
 	}
-	for k, n := range counts {
-		for i := 0; i < n; i++ {
+	// Sorted keys keep the missing-row diagnostics deterministic; map order
+	// must not leak into benchmark reports.
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for i := 0; i < counts[k]; i++ {
 			missing = append(missing, byKey[k])
 		}
 	}

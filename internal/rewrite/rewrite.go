@@ -147,6 +147,29 @@ func (m *Mediator) Mapping(source string) (*SourceMapping, bool) {
 	return sm, ok
 }
 
+// Mappings returns every source mapping table, sorted by source name.
+// Static analysis uses it to cross-check each table's record and field
+// paths against the source's published schema.
+func (m *Mediator) Mappings() []*SourceMapping {
+	names := make([]string, 0, len(m.mappings))
+	for name := range m.mappings {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]*SourceMapping, len(names))
+	for i, name := range names {
+		out[i] = m.mappings[name]
+	}
+	return out
+}
+
+// HasTransform reports whether a transform with the given name is
+// registered in the mediator's catalog.
+func (m *Mediator) HasTransform(name string) bool {
+	_, ok := m.transforms[name]
+	return ok
+}
+
 // Row is one merged global result row.
 type Row map[string]string
 

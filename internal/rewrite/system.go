@@ -26,6 +26,13 @@ func (s *System) Description() string {
 	return "generic rewrite mediator: benchmark queries expressed as global conjunctive queries over per-source mapping tables"
 }
 
+// GlobalQueries returns the global form of every benchmark query, keyed by
+// query ID — the "challenge variant" of each query, stated over the global
+// schema instead of a reference source. Exported so static analysis can
+// verify every referenced field is mapped (or declared inapplicable) for
+// every source the query touches.
+func GlobalQueries() map[int]GlobalQuery { return benchmarkQueries() }
+
 // benchmarkQueries maps each benchmark query id to its global form.
 func benchmarkQueries() map[int]GlobalQuery {
 	return map[int]GlobalQuery{

@@ -1,13 +1,28 @@
 package xquery
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
 )
 
-// Parse compiles query text into an expression tree.
+// Parse compiles query text into an expression tree. A failure is reported
+// as a *ParseError carrying the byte offset and the 1-based line and column
+// of the offending token.
 func Parse(src string) (Expr, error) {
+	e, err := parse(src)
+	if err != nil {
+		var pe *ParseError
+		if errors.As(err, &pe) {
+			pe.locate(src)
+		}
+		return nil, err
+	}
+	return e, nil
+}
+
+func parse(src string) (Expr, error) {
 	p := &parser{lex: &lexer{src: src}}
 	if err := p.advance(); err != nil {
 		return nil, err
@@ -20,15 +35,6 @@ func Parse(src string) (Expr, error) {
 		return nil, p.errorf("unexpected %q after end of query", p.tok.text)
 	}
 	return e, nil
-}
-
-// MustParse parses src and panics on error; for tests and static queries.
-func MustParse(src string) Expr {
-	e, err := Parse(src)
-	if err != nil {
-		panic(err)
-	}
-	return e
 }
 
 type parser struct {

@@ -36,15 +36,46 @@ type token struct {
 	pos  int
 }
 
-// SyntaxError reports a lexing or parsing failure with its offset.
-type SyntaxError struct {
-	Pos int
-	Msg string
+// ParseError reports a lexing or parsing failure. Pos is the byte offset
+// into the query text; Line and Column (both 1-based) are filled in by
+// Parse before the error is returned, so that tools such as thalia-vet can
+// point at the offending spot in a query.
+type ParseError struct {
+	Pos    int
+	Line   int
+	Column int
+	Msg    string
 }
 
+// SyntaxError is the historical name of ParseError.
+type SyntaxError = ParseError
+
 // Error implements error.
-func (e *SyntaxError) Error() string {
+func (e *ParseError) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("xquery: syntax error at line %d, column %d: %s", e.Line, e.Column, e.Msg)
+	}
 	return fmt.Sprintf("xquery: syntax error at offset %d: %s", e.Pos, e.Msg)
+}
+
+// locate fills Line and Column from the query source, if not already set.
+func (e *ParseError) locate(src string) {
+	if e.Line > 0 {
+		return
+	}
+	pos := e.Pos
+	if pos > len(src) {
+		pos = len(src)
+	}
+	e.Line, e.Column = 1, 1
+	for _, r := range src[:pos] {
+		if r == '\n' {
+			e.Line++
+			e.Column = 1
+		} else {
+			e.Column++
+		}
+	}
 }
 
 // lexer produces tokens on demand. The parser can reposition it (setPos)

@@ -1,0 +1,91 @@
+package xquery
+
+import (
+	"sort"
+	"strings"
+)
+
+// Walk traverses an expression tree in depth-first, source order, calling f
+// for every expression node (including expressions nested in step
+// predicates, constructor attributes and constructor content). If f returns
+// false for a node, its children are not visited.
+//
+// Walk is the foundation of the static query analysis in internal/analysis;
+// it deliberately visits every Expr the evaluator could reach so that a
+// checker seeing no finding has genuinely seen the whole query.
+func Walk(e Expr, f func(Expr) bool) {
+	if e == nil || !f(e) {
+		return
+	}
+	switch n := e.(type) {
+	case *FLWOR:
+		for _, fb := range n.Fors {
+			Walk(fb.In, f)
+		}
+		for _, lb := range n.Lets {
+			Walk(lb.Val, f)
+		}
+		if n.Where != nil {
+			Walk(n.Where, f)
+		}
+		if n.OrderBy != nil {
+			Walk(n.OrderBy.Key, f)
+		}
+		Walk(n.Return, f)
+	case *PathExpr:
+		if n.Root != nil {
+			Walk(n.Root, f)
+		}
+		for _, st := range n.Steps {
+			for _, pred := range st.Predicates {
+				Walk(pred, f)
+			}
+		}
+	case *Binary:
+		Walk(n.L, f)
+		Walk(n.R, f)
+	case *Unary:
+		Walk(n.X, f)
+	case *Call:
+		for _, a := range n.Args {
+			Walk(a, f)
+		}
+	case *SeqExpr:
+		for _, item := range n.Items {
+			Walk(item, f)
+		}
+	case *ElemCtor:
+		for _, a := range n.Attrs {
+			for _, part := range a.Parts {
+				Walk(part, f)
+			}
+		}
+		for _, c := range n.Content {
+			Walk(c, f)
+		}
+	case *Quantified:
+		Walk(n.In, f)
+		Walk(n.Sat, f)
+	case *IfExpr:
+		Walk(n.Cond, f)
+		Walk(n.Then, f)
+		Walk(n.Else, f)
+	}
+}
+
+// IsBuiltin reports whether name (case-insensitively) is a builtin function
+// of the XQuery subset.
+func IsBuiltin(name string) bool {
+	_, ok := builtins[strings.ToLower(name)]
+	return ok
+}
+
+// BuiltinNames returns the sorted names of all builtin functions.
+func BuiltinNames() []string {
+	names := make([]string, 0, len(builtins))
+	for name := range builtins {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -389,15 +389,79 @@ func TestErrors(t *testing.T) {
 
 func TestSyntaxErrorPosition(t *testing.T) {
 	_, err := Parse(`FOR $b in doc("x") WHERE ^ RETURN $b`)
-	se, ok := err.(*SyntaxError)
+	se, ok := err.(*ParseError)
 	if !ok {
 		t.Fatalf("error type %T", err)
 	}
 	if se.Pos <= 0 {
 		t.Errorf("position = %d", se.Pos)
 	}
-	if !strings.Contains(se.Error(), "offset") {
+	if se.Line != 1 || se.Column != 26 {
+		t.Errorf("line:column = %d:%d, want 1:26", se.Line, se.Column)
+	}
+	if !strings.Contains(se.Error(), "line 1, column 26") {
 		t.Errorf("message = %q", se.Error())
+	}
+}
+
+func TestParseErrorMultilinePosition(t *testing.T) {
+	_, err := Parse("FOR $b in doc(\"x\")/r/c\nWHERE $b/Title = ^\nRETURN $b")
+	se, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if se.Line != 2 {
+		t.Errorf("line = %d, want 2", se.Line)
+	}
+	if se.Column != 18 {
+		t.Errorf("column = %d, want 18", se.Column)
+	}
+}
+
+func TestWalkVisitsAllNodes(t *testing.T) {
+	e, err := Parse(`FOR $b in doc("x.xml")/r/Course
+		WHERE $b/Title = '%DB%' and starts-with($b/Time, '1:30')
+		ORDER BY $b/CRN
+		RETURN <row id="{$b/CRN}">{$b/Title}</row>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	Walk(e, func(x Expr) bool {
+		counts[fmt.Sprintf("%T", x)]++
+		return true
+	})
+	for _, typ := range []string{"*xquery.FLWOR", "*xquery.Call", "*xquery.Binary", "*xquery.ElemCtor", "*xquery.PathExpr", "*xquery.StringLit"} {
+		if counts[typ] == 0 {
+			t.Errorf("Walk never visited %s (got %v)", typ, counts)
+		}
+	}
+	// Predicates are visited too.
+	e2, err := Parse(`FOR $b in doc("x.xml")/r/Course[Position = 1] RETURN $b`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawPred := false
+	Walk(e2, func(x Expr) bool {
+		if b, ok := x.(*Binary); ok && b.Op == "=" {
+			sawPred = true
+		}
+		return true
+	})
+	if !sawPred {
+		t.Error("Walk did not visit step predicates")
+	}
+}
+
+func TestIsBuiltin(t *testing.T) {
+	if !IsBuiltin("starts-with") || !IsBuiltin("CONTAINS") {
+		t.Error("IsBuiltin misses known builtins")
+	}
+	if IsBuiltin("frobnicate") {
+		t.Error("IsBuiltin accepts unknown name")
+	}
+	if n := len(BuiltinNames()); n < 20 {
+		t.Errorf("BuiltinNames returned %d names", n)
 	}
 }
 
