@@ -12,16 +12,19 @@
 //	thalia queries                     the twelve benchmark queries
 //	thalia solution <n>                sample solution for query n
 //	thalia xq '<query>'                run an XQuery against the testbed
-//	thalia bench [--system name]...    evaluate systems (default: all)
+//	thalia bench [--system name]... [--parallel N] [--timeout D]
+//	                                   evaluate systems (default: all)
 //	thalia hetero                      the heterogeneity classification
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
 	"thalia"
 	"thalia/internal/tess"
@@ -79,7 +82,9 @@ Commands:
   solution <n>              print the sample solution for query n
   xq '<query>'              run an XQuery (subset) against the testbed
   bench [--system name]...  evaluate integration systems
-                            (cohera|iwiz|mediator|declarative)
+        [--parallel N]      (cohera|iwiz|mediator|declarative);
+        [--timeout D]       N workers (default: one per CPU), per-query
+                            timeout D (e.g. 30s; default: none)
   export <dir>              write the whole testbed to disk (HTML, XML,
                             XSD, wrapper configs, queries, solutions)
   validate                  re-extract and validate every source
@@ -186,20 +191,43 @@ func bench(args []string) error {
 		"mediator":    thalia.NewReferenceMediator,
 		"declarative": thalia.NewDeclarativeMediator,
 	}
+	runner := thalia.NewRunner()
 	var systems []thalia.System
 	for i := 0; i < len(args); i++ {
-		if args[i] != "--system" {
+		switch args[i] {
+		case "--system":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("bench: --system needs a value")
+			}
+			mk, ok := known[args[i]]
+			if !ok {
+				return fmt.Errorf("bench: unknown system %q (cohera|iwiz|mediator|declarative)", args[i])
+			}
+			systems = append(systems, mk())
+		case "--parallel":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("bench: --parallel needs a worker count")
+			}
+			n, err := strconv.Atoi(args[i])
+			if err != nil || n < 1 {
+				return fmt.Errorf("bench: bad --parallel value %q (want a positive integer)", args[i])
+			}
+			runner.Concurrency = n
+		case "--timeout":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("bench: --timeout needs a duration")
+			}
+			d, err := time.ParseDuration(args[i])
+			if err != nil || d <= 0 {
+				return fmt.Errorf("bench: bad --timeout value %q (want e.g. 30s)", args[i])
+			}
+			runner.QueryTimeout = d
+		default:
 			return fmt.Errorf("bench: unknown flag %q", args[i])
 		}
-		i++
-		if i >= len(args) {
-			return fmt.Errorf("bench: --system needs a value")
-		}
-		mk, ok := known[args[i]]
-		if !ok {
-			return fmt.Errorf("bench: unknown system %q (cohera|iwiz|mediator|declarative)", args[i])
-		}
-		systems = append(systems, mk())
 	}
 	if len(systems) == 0 {
 		systems = []thalia.System{
@@ -207,7 +235,7 @@ func bench(args []string) error {
 			thalia.NewReferenceMediator(), thalia.NewDeclarativeMediator(),
 		}
 	}
-	cards, err := thalia.EvaluateAll(systems...)
+	cards, err := runner.EvaluateAllContext(context.Background(), systems...)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,101 @@
+package benchmark
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"thalia/internal/integration"
+)
+
+// Timing is one measured configuration of the evaluation engine, in the
+// machine-readable shape the repo's BENCH_*.json artifacts use.
+type Timing struct {
+	// Name identifies the configuration, e.g. "evaluate_all/seq" or
+	// "evaluate_all/par8".
+	Name string `json:"name"`
+	// Runs is the number of full EvaluateAll executions measured.
+	Runs int `json:"runs"`
+	// NsPerOp is the mean wall-clock nanoseconds per EvaluateAll.
+	NsPerOp int64 `json:"ns_per_op"`
+}
+
+// Report is a benchmark-regression artifact: the sequential and parallel
+// timings of the same workload, so the sequential→parallel speedup is
+// pinned in version control rather than asserted in prose.
+type Report struct {
+	// Suite names the workload, e.g. "benchmark_engine".
+	Suite string `json:"suite"`
+	// GoMaxProcs records the parallelism available when measuring.
+	GoMaxProcs int `json:"gomaxprocs"`
+	// Systems lists the systems under evaluation, in input order.
+	Systems []string `json:"systems"`
+	// Timings holds one entry per measured configuration.
+	Timings []Timing `json:"timings"`
+	// Speedup is sequential ns/op divided by the best parallel ns/op.
+	Speedup float64 `json:"speedup"`
+}
+
+// MeasureEngine times EvaluateAll over the given systems sequentially
+// (Concurrency=1) and at each requested pool size, running each
+// configuration `runs` times, and returns the regression report. Systems
+// are warmed with one throwaway evaluation first so one-time materialization
+// (warehouse builds, relation shredding) doesn't distort the comparison.
+func MeasureEngine(runs int, poolSizes []int, systems ...integration.System) (*Report, error) {
+	if runs <= 0 {
+		runs = 1
+	}
+	rep := &Report{Suite: "benchmark_engine", GoMaxProcs: runtime.GOMAXPROCS(0)}
+	for _, sys := range systems {
+		rep.Systems = append(rep.Systems, sys.Name())
+	}
+	warm := NewSequentialRunner()
+	if _, err := warm.EvaluateAll(systems...); err != nil {
+		return nil, fmt.Errorf("benchmark: warm-up: %w", err)
+	}
+	measure := func(name string, workers int) (Timing, error) {
+		r := &Runner{Queries: Queries(), Concurrency: workers}
+		start := time.Now()
+		for i := 0; i < runs; i++ {
+			if _, err := r.EvaluateAll(systems...); err != nil {
+				return Timing{}, fmt.Errorf("benchmark: %s: %w", name, err)
+			}
+		}
+		return Timing{Name: name, Runs: runs, NsPerOp: time.Since(start).Nanoseconds() / int64(runs)}, nil
+	}
+	seq, err := measure("evaluate_all/seq", 1)
+	if err != nil {
+		return nil, err
+	}
+	rep.Timings = append(rep.Timings, seq)
+	best := int64(0)
+	for _, workers := range poolSizes {
+		if workers <= 1 {
+			continue
+		}
+		par, err := measure(fmt.Sprintf("evaluate_all/par%d", workers), workers)
+		if err != nil {
+			return nil, err
+		}
+		rep.Timings = append(rep.Timings, par)
+		if best == 0 || par.NsPerOp < best {
+			best = par.NsPerOp
+		}
+	}
+	if best > 0 {
+		rep.Speedup = float64(seq.NsPerOp) / float64(best)
+	}
+	return rep, nil
+}
+
+// WriteJSON writes the report to path as indented JSON, the BENCH_*.json
+// artifact format.
+func (r *Report) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

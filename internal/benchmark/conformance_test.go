@@ -1,0 +1,113 @@
+package benchmark
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"thalia/internal/integration"
+)
+
+// rowDiff renders a minimal, deterministic diff between two row sets: the
+// rows only the left side has ("-") and the rows only the right side has
+// ("+"), sorted canonically, truncated past a handful of lines.
+func rowDiff(onlyLeft, onlyRight []integration.Row) string {
+	var lines []string
+	for _, r := range onlyLeft {
+		lines = append(lines, "- "+r.Key())
+	}
+	for _, r := range onlyRight {
+		lines = append(lines, "+ "+r.Key())
+	}
+	sort.Strings(lines)
+	const keep = 8
+	if len(lines) > keep {
+		lines = append(lines[:keep], fmt.Sprintf("… %d more differing rows", len(lines)-keep))
+	}
+	return strings.Join(lines, "\n")
+}
+
+// TestDifferentialConformance is the cross-system differential suite: for
+// each of the twelve queries, every system that claims the query must
+// produce a row set equal to the expected answer AND to every other
+// claiming system. Failures print a minimal row diff.
+func TestDifferentialConformance(t *testing.T) {
+	systems := allSystems()
+	for _, q := range Queries() {
+		q := q
+		t.Run(fmt.Sprintf("Q%02d", q.ID), func(t *testing.T) {
+			want, err := q.Expected()
+			if err != nil {
+				t.Fatalf("expected answer: %v", err)
+			}
+			req := q.Request()
+			type claim struct {
+				name string
+				rows []integration.Row
+			}
+			var claims []claim
+			for _, sys := range systems {
+				ans, err := sys.Answer(req)
+				if errors.Is(err, integration.ErrUnsupported) {
+					continue
+				}
+				if err != nil {
+					t.Errorf("%s: answer failed: %v", sys.Name(), err)
+					continue
+				}
+				claims = append(claims, claim{sys.Name(), ans.Rows})
+			}
+			if len(claims) == 0 {
+				t.Fatalf("no system claims query %d — the benchmark cell is untested", q.ID)
+			}
+			// Every claiming system must match the ground truth…
+			for _, c := range claims {
+				missing, extra := integration.MatchRows(want, c.rows)
+				if len(missing) > 0 || len(extra) > 0 {
+					t.Errorf("%s disagrees with the expected answer:\n%s",
+						c.name, rowDiff(missing, extra))
+				}
+			}
+			// …and, independently, every pair of claiming systems must agree
+			// row-for-row (catches the case where the ground truth itself is
+			// wrong but two systems drift apart in the same direction).
+			for i := 0; i < len(claims); i++ {
+				for j := i + 1; j < len(claims); j++ {
+					missing, extra := integration.MatchRows(claims[i].rows, claims[j].rows)
+					if len(missing) > 0 || len(extra) > 0 {
+						t.Errorf("%s and %s disagree on query %d:\n%s",
+							claims[i].name, claims[j].name, q.ID,
+							rowDiff(missing, extra))
+					}
+				}
+			}
+		})
+	}
+}
+
+// The two perfect-scoring mediators must claim every query; the two legacy
+// systems must decline exactly 4, 5 and 8 — so the differential suite
+// always has at least two independent implementations per cell.
+func TestConformanceCoverage(t *testing.T) {
+	declined := map[string][]int{}
+	for _, sys := range allSystems() {
+		for _, q := range Queries() {
+			_, err := sys.Answer(q.Request())
+			if errors.Is(err, integration.ErrUnsupported) {
+				declined[sys.Name()] = append(declined[sys.Name()], q.ID)
+			}
+		}
+	}
+	for _, mediator := range []string{"UF Full Mediator", "Declarative Mediator"} {
+		if ids := declined[mediator]; len(ids) != 0 {
+			t.Errorf("%s declined %v, want none", mediator, ids)
+		}
+	}
+	for _, legacy := range []string{"Cohera", "IWIZ"} {
+		if ids := declined[legacy]; fmt.Sprint(ids) != "[4 5 8]" {
+			t.Errorf("%s declined %v, want [4 5 8]", legacy, ids)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package benchmark
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+
+	"thalia/internal/integration"
+)
+
+// ErrQueryTimeout is recorded in a QueryResult when a system's Answer did
+// not return within the runner's per-query timeout. The cell scores zero;
+// the evaluation of the remaining cells continues.
+var ErrQueryTimeout = errors.New("benchmark: query evaluation timed out")
+
+// cell is one query×system evaluation unit of work.
+type cell struct {
+	sys   int // index into the systems slice
+	query int // index into r.Queries
+}
+
+// concurrency resolves the runner's worker-pool size: an explicit positive
+// Concurrency wins; otherwise one worker per logical CPU.
+func (r *Runner) concurrency() int {
+	if r.Concurrency > 0 {
+		return r.Concurrency
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// EvaluateContext runs every benchmark query through the system under ctx
+// and scores the outcome against the expected integrated answers. Queries
+// are fanned out across the runner's worker pool; see EvaluateAllContext
+// for the concurrency contract. Result order is always query order,
+// regardless of completion order.
+func (r *Runner) EvaluateContext(ctx context.Context, sys integration.System) (*Scorecard, error) {
+	cards, err := r.EvaluateAllContext(ctx, sys)
+	if err != nil {
+		return nil, err
+	}
+	return cards[0], nil
+}
+
+// EvaluateAllContext scores several systems concurrently and returns their
+// cards ranked. All query×system cells are spread over a pool of
+// r.Concurrency workers (default: one per logical CPU), so the systems'
+// Answer methods — and the catalog materialization they share — must be
+// safe for concurrent use; every built-in system is (see
+// integration.System). Cancelling ctx abandons the evaluation and returns
+// ctx.Err(). A per-cell timeout (r.QueryTimeout) degrades a stuck query to
+// a per-query error instead of hanging the run. The ranked cards and the
+// per-query results within them are deterministic: identical to the
+// sequential path byte for byte.
+func (r *Runner) EvaluateAllContext(ctx context.Context, systems ...integration.System) ([]*Scorecard, error) {
+	cards := make([]*Scorecard, len(systems))
+	for i, sys := range systems {
+		cards[i] = &Scorecard{
+			System:      sys.Name(),
+			Description: sys.Description(),
+			Results:     make([]QueryResult, len(r.Queries)),
+		}
+	}
+
+	cells := make(chan cell)
+	workers := r.concurrency()
+	if n := len(systems) * len(r.Queries); workers > n {
+		workers = n
+	}
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for c := range cells {
+				cards[c.sys].Results[c.query] = r.evalCell(ctx, systems[c.sys], r.Queries[c.query])
+			}
+		}()
+	}
+
+feed:
+	for qi := range r.Queries {
+		for si := range systems {
+			select {
+			case cells <- cell{sys: si, query: qi}:
+			case <-ctx.Done():
+				break feed
+			}
+		}
+	}
+	close(cells)
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return Rank(cards), nil
+}
+
+// evalCell evaluates one query against one system and scores it. Every
+// failure mode — a broken expected answer, a system error, a timeout —
+// degrades to a per-query error result, so one bad cell cannot sink a
+// multi-system run.
+func (r *Runner) evalCell(ctx context.Context, sys integration.System, q *Query) QueryResult {
+	res := QueryResult{QueryID: q.ID}
+	if err := ctx.Err(); err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	want, err := q.Expected()
+	if err != nil {
+		res.Err = fmt.Sprintf("expected answer: %v", err)
+		return res
+	}
+	ans, err := r.answer(ctx, sys, q.Request())
+	switch {
+	case errors.Is(err, integration.ErrUnsupported):
+		// Declined: no point, no complexity charge.
+	case err != nil:
+		res.Supported = true
+		res.Err = err.Error()
+	default:
+		res.Supported = true
+		res.Effort = ans.Effort
+		res.Functions = ans.Functions
+		res.Missing, res.Extra = integration.MatchRows(want, ans.Rows)
+		res.Correct = len(res.Missing) == 0 && len(res.Extra) == 0
+	}
+	return res
+}
+
+// answer invokes sys.Answer, bounding it by the runner's per-query timeout
+// and the context. Answer does not take a context (systems model legacy
+// engines), so a cell that overruns is abandoned: its goroutine finishes in
+// the background and its late result is dropped.
+func (r *Runner) answer(ctx context.Context, sys integration.System, req integration.Request) (*integration.Answer, error) {
+	if r.QueryTimeout <= 0 && ctx.Done() == nil {
+		return sys.Answer(req)
+	}
+	type outcome struct {
+		ans *integration.Answer
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		ans, err := sys.Answer(req)
+		ch <- outcome{ans, err}
+	}()
+	var timeout <-chan time.Time
+	if r.QueryTimeout > 0 {
+		t := time.NewTimer(r.QueryTimeout)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case out := <-ch:
+		return out.ans, out.err
+	case <-timeout:
+		return nil, fmt.Errorf("%w after %v (query %d)", ErrQueryTimeout, r.QueryTimeout, req.QueryID)
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}

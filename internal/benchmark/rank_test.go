@@ -1,0 +1,74 @@
+package benchmark
+
+import (
+	"testing"
+
+	"thalia/internal/integration"
+)
+
+// card builds a scorecard with n correct queries, each charged the given
+// per-query complexity via an itemized external function.
+func card(name string, correct, perQueryComplexity int) *Scorecard {
+	s := &Scorecard{System: name}
+	for i := 0; i < correct; i++ {
+		s.Results = append(s.Results, QueryResult{
+			QueryID: i + 1, Supported: true, Correct: true,
+			Functions: []integration.FunctionUse{{Name: "f", Complexity: perQueryComplexity}},
+		})
+	}
+	return s
+}
+
+// Equal correctness must fall back to the complexity tie-break: the lower
+// complexity score (the more sophisticated system, per the paper) wins.
+func TestRankTieBreakByComplexity(t *testing.T) {
+	heavy := card("heavy", 9, 3) // 9 correct, complexity 27
+	light := card("light", 9, 1) // 9 correct, complexity 9
+	top := card("top", 12, 2)    // more correct beats any complexity
+	for _, order := range [][]*Scorecard{
+		{heavy, light, top},
+		{top, light, heavy},
+		{light, heavy, top},
+	} {
+		ranked := Rank(order)
+		got := []string{ranked[0].System, ranked[1].System, ranked[2].System}
+		if got[0] != "top" || got[1] != "light" || got[2] != "heavy" {
+			t.Errorf("Rank(%v...) = %v, want [top light heavy]", order[0].System, got)
+		}
+	}
+}
+
+// A full tie on both correctness and complexity falls back to the system
+// name, so ranking is deterministic for any input order.
+func TestRankFullTieUsesName(t *testing.T) {
+	b := card("beta", 6, 2)
+	a := card("alpha", 6, 2)
+	ranked := Rank([]*Scorecard{b, a})
+	if ranked[0].System != "alpha" || ranked[1].System != "beta" {
+		t.Errorf("full tie ranked %s before %s, want name order", ranked[0].System, ranked[1].System)
+	}
+}
+
+// Rank must not reorder the caller's slice — it returns a fresh ranking.
+func TestRankLeavesInputIntact(t *testing.T) {
+	in := []*Scorecard{card("z", 1, 1), card("a", 12, 0)}
+	_ = Rank(in)
+	if in[0].System != "z" || in[1].System != "a" {
+		t.Errorf("input slice reordered: %s, %s", in[0].System, in[1].System)
+	}
+}
+
+// Declined queries contribute no complexity, so a system that declines a
+// query does not get penalized on the tie-break for functions it reported.
+func TestRankIgnoresDeclinedComplexity(t *testing.T) {
+	declined := card("declined", 6, 1)
+	declined.Results = append(declined.Results, QueryResult{
+		QueryID: 7, Supported: false,
+		Functions: []integration.FunctionUse{{Name: "ghost", Complexity: 99}},
+	})
+	rival := card("rival", 6, 2)
+	ranked := Rank([]*Scorecard{rival, declined})
+	if ranked[0].System != "declined" {
+		t.Errorf("ranked %s first; declined-query complexity should not count", ranked[0].System)
+	}
+}

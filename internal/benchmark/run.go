@@ -1,61 +1,51 @@
 package benchmark
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"thalia/internal/integration"
 )
 
-// Runner evaluates integration systems on the benchmark.
+// Runner evaluates integration systems on the benchmark. The zero value is
+// not useful; construct with NewRunner (all twelve queries, one worker per
+// CPU) and adjust the knobs as needed.
 type Runner struct {
 	Queries []*Query
+	// Concurrency is the size of the worker pool query×system cells are
+	// fanned out over. Zero or negative means one worker per logical CPU;
+	// 1 reproduces the strictly sequential evaluation order.
+	Concurrency int
+	// QueryTimeout bounds one system's Answer call for one query. A cell
+	// that overruns is recorded as a per-query error (ErrQueryTimeout)
+	// rather than hanging the evaluation. Zero means no timeout.
+	QueryTimeout time.Duration
 }
 
 // NewRunner returns a runner over all twelve queries.
 func NewRunner() *Runner { return &Runner{Queries: Queries()} }
 
+// NewSequentialRunner returns a runner that evaluates cells strictly one at
+// a time, in query order — the reference path the concurrent engine is
+// differentially tested against.
+func NewSequentialRunner() *Runner { return &Runner{Queries: Queries(), Concurrency: 1} }
+
 // Evaluate runs every benchmark query through the system and scores the
-// outcome against the expected integrated answers.
+// outcome against the expected integrated answers. A query whose expected
+// answer cannot be computed degrades to a per-query error result; it does
+// not abort the evaluation.
 func (r *Runner) Evaluate(sys integration.System) (*Scorecard, error) {
-	card := &Scorecard{System: sys.Name(), Description: sys.Description()}
-	for _, q := range r.Queries {
-		res := QueryResult{QueryID: q.ID}
-		want, err := q.Expected()
-		if err != nil {
-			return nil, fmt.Errorf("benchmark: query %d: expected answer: %w", q.ID, err)
-		}
-		ans, err := sys.Answer(q.Request())
-		switch {
-		case errors.Is(err, integration.ErrUnsupported):
-			// Declined: no point, no complexity charge.
-		case err != nil:
-			res.Supported = true
-			res.Err = err.Error()
-		default:
-			res.Supported = true
-			res.Effort = ans.Effort
-			res.Functions = ans.Functions
-			res.Missing, res.Extra = integration.MatchRows(want, ans.Rows)
-			res.Correct = len(res.Missing) == 0 && len(res.Extra) == 0
-		}
-		card.Results = append(card.Results, res)
-	}
-	return card, nil
+	return r.EvaluateContext(context.Background(), sys)
 }
 
-// EvaluateAll scores several systems and returns their cards ranked.
+// EvaluateAll scores several systems and returns their cards ranked. Cells
+// are evaluated on the runner's worker pool (see EvaluateAllContext for the
+// concurrency contract); the ranked result is byte-identical to the
+// sequential (Concurrency=1) path.
 func (r *Runner) EvaluateAll(systems ...integration.System) ([]*Scorecard, error) {
-	var cards []*Scorecard
-	for _, sys := range systems {
-		card, err := r.Evaluate(sys)
-		if err != nil {
-			return nil, err
-		}
-		cards = append(cards, card)
-	}
-	return Rank(cards), nil
+	return r.EvaluateAllContext(context.Background(), systems...)
 }
 
 // Summary renders the Section 4.2 narrative line for a scorecard, e.g.

@@ -388,3 +388,36 @@ func TestFrenchSource(t *testing.T) {
 		t.Error("no French course titles in epfl extraction")
 	}
 }
+
+// MaterializeAll warms every source cache concurrently; afterwards every
+// Document() call returns the same shared (read-only) materialized value,
+// and racing warm-up against direct Document access is safe.
+func TestMaterializeAll(t *testing.T) {
+	if err := MaterializeAll(8); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range Names() {
+		s, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d1, err := s.Document()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		d2, err := s.Document()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if d1 != d2 {
+			t.Errorf("%s: Document() rebuilt instead of reusing the cache", name)
+		}
+	}
+	// Degenerate worker counts clamp rather than deadlock.
+	if err := MaterializeAll(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := MaterializeAll(1000); err != nil {
+		t.Fatal(err)
+	}
+}

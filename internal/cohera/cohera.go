@@ -33,7 +33,10 @@ import (
 	"thalia/internal/xmldom"
 )
 
-// System is the Cohera model.
+// System is the Cohera model. It is safe for concurrent use: the testbed is
+// shredded into relations exactly once behind the sync.Once, queries only
+// read the shredded tables, and minidb's UDF-invocation tally is
+// mutex-protected inside the engine.
 type System struct {
 	once sync.Once
 	db   *minidb.DB

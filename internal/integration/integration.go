@@ -116,13 +116,26 @@ func (r Row) Key() string {
 }
 
 // System is an integration system that can be evaluated on the benchmark.
+//
+// Concurrency contract: the benchmark's concurrent engine fans query×system
+// cells out over a worker pool, so Name, Description and Answer MUST be
+// safe for concurrent use by multiple goroutines — including multiple
+// in-flight Answer calls on the same System value, possibly for the same
+// query. Internal caches (materialized warehouses, shredded relations,
+// shared testbed documents) must be built behind sync.Once or equivalent,
+// and per-call state (effort ledgers, scratch buffers) must live in the
+// call, not on the receiver. All four built-in systems (cohera, iwiz, ufmw,
+// rewrite) honor this contract; the race-stress suite in
+// internal/benchmark enforces it under the race detector.
 type System interface {
 	// Name identifies the system in scorecards.
 	Name() string
 	// Description summarizes the system's architecture.
 	Description() string
 	// Answer attempts one benchmark query. Returning ErrUnsupported means
-	// the system declines the query (scores 0 points for it).
+	// the system declines the query (scores 0 points for it). Answer must
+	// be safe for concurrent use and must treat the rows of the shared
+	// testbed documents as read-only.
 	Answer(req Request) (*Answer, error)
 }
 

@@ -1,0 +1,60 @@
+package integration
+
+import "testing"
+
+// Duplicate rows are multiset-counted: two expected copies against one got
+// copy leaves exactly one missing, and the surplus direction is symmetric.
+func TestMatchRowsDuplicates(t *testing.T) {
+	dup := Row{"course": "cs101", "title": "Intro"}
+	want := []Row{dup, dup, {"course": "cs102"}}
+	got := []Row{{"course": "cs102"}, dup}
+	missing, extra := MatchRows(want, got)
+	if len(missing) != 1 || missing[0].Key() != dup.Key() {
+		t.Errorf("missing = %v, want one copy of the duplicate", missing)
+	}
+	if len(extra) != 0 {
+		t.Errorf("extra = %v, want none", extra)
+	}
+	// Reversed: got has more copies than expected.
+	missing, extra = MatchRows(got, want)
+	if len(missing) != 0 {
+		t.Errorf("reversed missing = %v, want none", missing)
+	}
+	if len(extra) != 1 || extra[0].Key() != dup.Key() {
+		t.Errorf("reversed extra = %v, want one copy of the duplicate", extra)
+	}
+	// Exact duplicate multisets match perfectly regardless of order.
+	missing, extra = MatchRows(want, []Row{dup, {"course": "cs102"}, dup})
+	if len(missing) != 0 || len(extra) != 0 {
+		t.Errorf("equal multisets: missing=%v extra=%v", missing, extra)
+	}
+}
+
+// Empty row sets on either or both sides behave sanely: nothing is invented,
+// and everything present on the other side is reported.
+func TestMatchRowsEmptySets(t *testing.T) {
+	rows := []Row{{"a": "1"}, {"a": "2"}}
+	if missing, extra := MatchRows(nil, nil); len(missing) != 0 || len(extra) != 0 {
+		t.Errorf("nil vs nil: missing=%v extra=%v", missing, extra)
+	}
+	if missing, extra := MatchRows([]Row{}, []Row{}); len(missing) != 0 || len(extra) != 0 {
+		t.Errorf("empty vs empty: missing=%v extra=%v", missing, extra)
+	}
+	missing, extra := MatchRows(rows, nil)
+	if len(missing) != 2 || len(extra) != 0 {
+		t.Errorf("want vs empty: missing=%v extra=%v", missing, extra)
+	}
+	missing, extra = MatchRows(nil, rows)
+	if len(missing) != 0 || len(extra) != 2 {
+		t.Errorf("empty vs got: missing=%v extra=%v", missing, extra)
+	}
+	// The empty row (no fields) is still a row and must be matched as one.
+	missing, extra = MatchRows([]Row{{}}, []Row{{}})
+	if len(missing) != 0 || len(extra) != 0 {
+		t.Errorf("empty-row match: missing=%v extra=%v", missing, extra)
+	}
+	missing, extra = MatchRows([]Row{{}}, nil)
+	if len(missing) != 1 || len(extra) != 0 {
+		t.Errorf("empty row should count as missing: missing=%v extra=%v", missing, extra)
+	}
+}

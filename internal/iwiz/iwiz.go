@@ -83,7 +83,10 @@ type WrapperSpec struct {
 //
 // Unused fields are simply absent.
 
-// System is the IWIZ model.
+// System is the IWIZ model. It is safe for concurrent use: the warehouse is
+// materialized exactly once behind the sync.Once (concurrent first callers
+// block until the build completes and then share it), and Answer only reads
+// the warehoused documents.
 type System struct {
 	once      sync.Once
 	warehouse map[string]*xmldom.Element // source → <Courses> root in the global schema

@@ -18,6 +18,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"thalia/internal/catalog"
 	"thalia/internal/mapping"
@@ -112,16 +113,22 @@ type GlobalQuery struct {
 	Sources []string
 }
 
-// Mediator answers global queries over mapped sources. A Mediator is not
-// safe for concurrent use: the transform-usage ledger accumulates across
-// calls (use one Mediator per goroutine, or serialize Answer calls).
+// Mediator answers global queries over mapped sources. A Mediator is safe
+// for concurrent use: each evaluation tallies transform usage in a ledger
+// local to the call (AnswerUsage returns it), and the accumulated shared
+// ledger behind UsedTransforms is mutex-protected.
 type Mediator struct {
 	transforms map[string]*Transform
 	mappings   map[string]*SourceMapping
 	lex        *mapping.Lexicon
-	// used tallies, per evaluation, the non-trivial transforms invoked.
+	// mu guards used, the ledger accumulated across Answer calls.
+	mu   sync.Mutex
 	used map[string]int
 }
+
+// ledger tallies the transforms one evaluation invoked. Each Answer call
+// gets its own, so concurrent evaluations never share mutable state.
+type ledger map[string]int
 
 // NewMediator returns a mediator with the standard transform catalog and
 // the built-in testbed mapping tables.
@@ -173,12 +180,11 @@ func (m *Mediator) HasTransform(name string) bool {
 // Row is one merged global result row.
 type Row map[string]string
 
-// UsedTransforms returns the non-trivial transforms invoked since the last
-// reset, with their complexities — the mediator's integration-effort
-// ledger.
-func (m *Mediator) UsedTransforms() map[string]int {
+// charged filters a ledger down to the registered transforms with non-zero
+// complexity — the entries THALIA's scoring function charges for.
+func (m *Mediator) charged(used ledger) map[string]int {
 	out := map[string]int{}
-	for name := range m.used {
+	for name := range used {
 		if t, ok := m.transforms[name]; ok && t.Complexity > 0 {
 			out[t.Name] = t.Complexity
 		}
@@ -186,13 +192,55 @@ func (m *Mediator) UsedTransforms() map[string]int {
 	return out
 }
 
-// ResetLedger clears the transform-usage ledger.
-func (m *Mediator) ResetLedger() { m.used = map[string]int{} }
+// UsedTransforms returns the non-trivial transforms invoked since the last
+// reset, with their complexities — the mediator's integration-effort
+// ledger, accumulated across Answer calls.
+func (m *Mediator) UsedTransforms() map[string]int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.charged(m.used)
+}
+
+// ResetLedger clears the accumulated transform-usage ledger.
+func (m *Mediator) ResetLedger() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.used = map[string]int{}
+}
 
 // Answer evaluates a global query: it decomposes the query into one
 // evaluation per mapped source, applies each source's mapping table, and
-// merges the per-source rows.
+// merges the per-source rows. The transforms invoked are folded into the
+// shared ledger (UsedTransforms); concurrent callers that need per-call
+// effort accounting should use AnswerUsage instead.
 func (m *Mediator) Answer(q GlobalQuery) ([]Row, error) {
+	rows, used, err := m.answerLedger(q)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	for name, n := range used {
+		m.used[name] += n
+	}
+	m.mu.Unlock()
+	return rows, nil
+}
+
+// AnswerUsage evaluates a global query and returns, alongside the rows, the
+// charged transforms this call alone invoked (name → complexity). It does
+// not touch the shared ledger, so concurrent evaluations are fully
+// independent.
+func (m *Mediator) AnswerUsage(q GlobalQuery) ([]Row, map[string]int, error) {
+	rows, used, err := m.answerLedger(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rows, m.charged(used), nil
+}
+
+// answerLedger runs the evaluation with a fresh call-local ledger.
+func (m *Mediator) answerLedger(q GlobalQuery) ([]Row, ledger, error) {
+	used := ledger{}
 	sources := q.Sources
 	if len(sources) == 0 {
 		for name := range m.mappings {
@@ -204,19 +252,19 @@ func (m *Mediator) Answer(q GlobalQuery) ([]Row, error) {
 	for _, name := range sources {
 		sm, ok := m.mappings[name]
 		if !ok {
-			return nil, fmt.Errorf("rewrite: no mapping for source %q", name)
+			return nil, nil, fmt.Errorf("rewrite: no mapping for source %q", name)
 		}
-		rows, err := m.answerSource(sm, q)
+		rows, err := m.answerSource(sm, q, used)
 		if err != nil {
-			return nil, fmt.Errorf("rewrite: source %s: %w", name, err)
+			return nil, nil, fmt.Errorf("rewrite: source %s: %w", name, err)
 		}
 		out = append(out, rows...)
 	}
-	return out, nil
+	return out, used, nil
 }
 
 // answerSource evaluates the query against one source.
-func (m *Mediator) answerSource(sm *SourceMapping, q GlobalQuery) ([]Row, error) {
+func (m *Mediator) answerSource(sm *SourceMapping, q GlobalQuery, used ledger) ([]Row, error) {
 	src, err := catalog.Get(sm.Source)
 	if err != nil {
 		return nil, err
@@ -236,24 +284,24 @@ func (m *Mediator) answerSource(sm *SourceMapping, q GlobalQuery) ([]Row, error)
 	}
 	var out []Row
 	for _, course := range doc.Root.ChildrenNamed(sm.Record) {
-		vals, err := m.fieldValues(sm, course, needed)
+		vals, err := m.fieldValues(sm, course, needed, used)
 		if err != nil {
 			return nil, err
 		}
-		keep, err := m.courseSatisfies(sm, vals, q.Where)
+		keep, err := m.courseSatisfies(sm, vals, q.Where, used)
 		if err != nil {
 			return nil, err
 		}
 		if !keep {
 			continue
 		}
-		out = append(out, m.expand(sm, vals, q)...)
+		out = append(out, m.expand(sm, vals, q, used)...)
 	}
 	return out, nil
 }
 
 // fieldValues computes the needed global fields of one course.
-func (m *Mediator) fieldValues(sm *SourceMapping, course *xmldom.Element, needed map[string]bool) (map[string][]string, error) {
+func (m *Mediator) fieldValues(sm *SourceMapping, course *xmldom.Element, needed map[string]bool, used ledger) (map[string][]string, error) {
 	vals := map[string][]string{}
 	for _, fm := range sm.Fields {
 		if !needed[fm.Field] {
@@ -267,7 +315,7 @@ func (m *Mediator) fieldValues(sm *SourceMapping, course *xmldom.Element, needed
 			continue
 		}
 		for _, el := range els {
-			vs, err := m.apply(fm, el)
+			vs, err := m.apply(fm, el, used)
 			if err != nil {
 				return nil, err
 			}
@@ -277,7 +325,7 @@ func (m *Mediator) fieldValues(sm *SourceMapping, course *xmldom.Element, needed
 	return vals, nil
 }
 
-func (m *Mediator) apply(fm FieldMapping, el *xmldom.Element) ([]string, error) {
+func (m *Mediator) apply(fm FieldMapping, el *xmldom.Element, used ledger) ([]string, error) {
 	if fm.Transform == "" {
 		return []string{el.Text()}, nil
 	}
@@ -285,7 +333,7 @@ func (m *Mediator) apply(fm FieldMapping, el *xmldom.Element) ([]string, error) 
 	if !ok {
 		return nil, fmt.Errorf("unknown transform %q", fm.Transform)
 	}
-	m.used[t.Name]++
+	used[t.Name]++
 	return t.Fn(el)
 }
 
@@ -293,16 +341,16 @@ func (m *Mediator) apply(fm FieldMapping, el *xmldom.Element) ([]string, error) 
 // multi-valued fields. A predicate over a field the source declares
 // inapplicable holds vacuously; the field renders as the inapplicable
 // marker (the dual-NULL treatment of case 8).
-func (m *Mediator) courseSatisfies(sm *SourceMapping, vals map[string][]string, where []Predicate) (bool, error) {
+func (m *Mediator) courseSatisfies(sm *SourceMapping, vals map[string][]string, where []Predicate, used ledger) (bool, error) {
 	for _, p := range where {
 		if sm.isInapplicable(p.Field) {
 			// Vacuously satisfied: the concept cannot be present (case 8).
-			m.used["dual-null"]++
+			used["dual-null"]++
 			continue
 		}
 		ok := false
 		for _, v := range vals[p.Field] {
-			match, err := m.eval(p, v)
+			match, err := m.eval(p, v, used)
 			if err != nil {
 				return false, err
 			}
@@ -318,7 +366,7 @@ func (m *Mediator) courseSatisfies(sm *SourceMapping, vals map[string][]string, 
 	return true, nil
 }
 
-func (m *Mediator) eval(p Predicate, v string) (bool, error) {
+func (m *Mediator) eval(p Predicate, v string, used ledger) (bool, error) {
 	switch p.Op {
 	case OpEq:
 		return v == p.Value, nil
@@ -327,7 +375,7 @@ func (m *Mediator) eval(p Predicate, v string) (bool, error) {
 	case OpContainsFold:
 		return strings.Contains(strings.ToLower(v), strings.ToLower(p.Value)), nil
 	case OpContainsTranslated:
-		m.used["lexicon-translate"]++
+		used["lexicon-translate"]++
 		return m.lex.ValueContains(v, p.Value), nil
 	case OpStartsWith:
 		return strings.HasPrefix(v, p.Value), nil
@@ -349,7 +397,7 @@ func (m *Mediator) eval(p Predicate, v string) (bool, error) {
 // fill in place; each selected multi-valued field expands to one row per
 // value, with predicates on that same field re-applied to the expanded
 // value.
-func (m *Mediator) expand(sm *SourceMapping, vals map[string][]string, q GlobalQuery) []Row {
+func (m *Mediator) expand(sm *SourceMapping, vals map[string][]string, q GlobalQuery, used ledger) []Row {
 	base := Row{"source": sm.Source}
 	if cn := vals["course"]; len(cn) > 0 {
 		base["course"] = cn[0]
@@ -360,7 +408,7 @@ func (m *Mediator) expand(sm *SourceMapping, vals map[string][]string, q GlobalQ
 			continue
 		}
 		if sm.isInapplicable(field) {
-			m.used["dual-null"]++
+			used["dual-null"]++
 			for _, r := range rows {
 				r[field] = mapping.Inapplicable().Marker()
 			}
@@ -377,7 +425,7 @@ func (m *Mediator) expand(sm *SourceMapping, vals map[string][]string, q GlobalQ
 				if p.Field != field {
 					continue
 				}
-				match, err := m.eval(p, v)
+				match, err := m.eval(p, v, used)
 				if err != nil || !match {
 					ok = false
 					break

@@ -10,7 +10,9 @@ import (
 // System adapts the declarative mediator to the benchmark's System
 // interface: every benchmark query is expressed as a GlobalQuery over the
 // global schema — no per-query code at all — and the effort accounting
-// comes from the mediator's transform ledger.
+// comes from the mediator's transform ledger. Answer is safe for
+// concurrent use: each call carries its own usage ledger (AnswerUsage), so
+// parallel benchmark cells never interleave effort accounting.
 type System struct {
 	med *Mediator
 }
@@ -117,8 +119,7 @@ func (s *System) Answer(req integration.Request) (*integration.Answer, error) {
 	if !ok {
 		return nil, fmt.Errorf("rewrite: unknown benchmark query %d", req.QueryID)
 	}
-	s.med.ResetLedger()
-	rows, err := s.med.Answer(gq)
+	rows, used, err := s.med.AnswerUsage(gq)
 	if err != nil {
 		return nil, err
 	}
@@ -126,7 +127,6 @@ func (s *System) Answer(req integration.Request) (*integration.Answer, error) {
 	for i, r := range rows {
 		out[i] = integration.Row(r)
 	}
-	used := s.med.UsedTransforms()
 	names := make([]string, 0, len(used))
 	for n := range used {
 		names = append(names, n)

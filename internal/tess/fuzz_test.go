@@ -1,0 +1,40 @@
+package tess
+
+import "testing"
+
+// FuzzParseConfig drives the wrapper-config reader with arbitrary input.
+// The contract under test: ParseConfig never panics — malformed configs
+// error out — and any accepted config survives MarshalConfig → ParseConfig
+// with the same rendered form (the XML rendering is canonical).
+func FuzzParseConfig(f *testing.F) {
+	seeds := []string{
+		`<tess source="cmu"><rule name="Course" begin="&lt;tr&gt;" end="&lt;/tr&gt;" repeat="true"><rule name="Title" begin="&lt;td&gt;" end="&lt;/td&gt;"/></rule></tess>`,
+		`<tess source="brown"><rule name="Course" begin="B" end="E" repeat="true" optional="true" mixed="true" mode="html"><attr name="href" begin="href=&quot;" end="&quot;"/></rule></tess>`,
+		`<tess source="x"/>`,
+		`<tess><rule name="r" begin="a" end="b" mode="bogus"/></tess>`,
+		`<tess><rule name="r" begin="a" end="b" repeat="maybe"/></tess>`,
+		`<nottess/>`,
+		`not xml at all`,
+		``,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := ParseConfig(src)
+		if err != nil {
+			return // malformed configs must error, not panic
+		}
+		if c == nil {
+			t.Fatalf("ParseConfig(%q) returned nil config and nil error", src)
+		}
+		out := MarshalConfig(c)
+		c2, err := ParseConfig(out)
+		if err != nil {
+			t.Fatalf("re-parse of marshaled config failed: %v\ninput:    %q\nmarshaled: %q", err, src, out)
+		}
+		if out2 := MarshalConfig(c2); out2 != out {
+			t.Fatalf("marshal is not canonical\nfirst:  %q\nsecond: %q", out, out2)
+		}
+	})
+}

@@ -16,7 +16,10 @@ import (
 	"thalia/internal/xmldom"
 )
 
-// Mediator is the full-mediation integration system.
+// Mediator is the full-mediation integration system. It is safe for
+// concurrent use: the lexicon and transform registry are immutable after
+// New, every per-query evaluation keeps its state on the stack, and the
+// shared testbed documents are only read.
 type Mediator struct {
 	lex *mapping.Lexicon
 	reg *mapping.Registry

@@ -1,0 +1,54 @@
+package xmldom
+
+import "testing"
+
+// FuzzParseRoundTrip drives the XML parser with arbitrary bytes. The
+// contract under test: ParseString never panics on malformed input, and
+// every document it accepts survives a serialize → re-parse round trip
+// structurally unchanged (Equal ignores insignificant whitespace).
+func FuzzParseRoundTrip(f *testing.F) {
+	seeds := []string{
+		`<?xml version="1.0" encoding="UTF-8"?><cmu><Course><Title>DB</Title></Course></cmu>`,
+		`<results q="4"><result source="cmu"><course>15-415</course></result></results>`,
+		`<a x="1" y="two"><b/><c>text &amp; more</c><!-- note --></a>`,
+		`<r><v>&lt;escaped&gt;</v><v>&quot;q&quot;</v><v>&#65;&#x42;</v></r>`,
+		`<Matière><Intitulé>Systèmes de bases de données</Intitulé></Matière>`,
+		`<a>`,
+		`</a>`,
+		`<a><b></a></b>`,
+		`<a x="1" x="2"/>`,
+		`text only`,
+		``,
+		"<a>\x00</a>",
+		`<a><![CDATA[raw <markup>]]></a>`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		doc, err := ParseString(src)
+		if err != nil {
+			return // malformed input must error, not panic
+		}
+		if doc == nil || doc.Root == nil {
+			t.Fatalf("ParseString(%q) returned nil document and nil error", src)
+		}
+		out := doc.Encode()
+		back, err := ParseString(out)
+		if err != nil {
+			t.Fatalf("re-parse of serialized form failed: %v\ninput:  %q\noutput: %q", err, src, out)
+		}
+		if !Equal(doc.Root, back.Root) {
+			t.Fatalf("round trip changed the document\ninput:      %q\nserialized: %q\nreserialized: %q", src, out, back.Encode())
+		}
+		// Compact encoding must round-trip too.
+		compact := doc.EncodeCompact()
+		back2, err := ParseString(compact)
+		if err != nil {
+			t.Fatalf("re-parse of compact form failed: %v\ninput: %q\ncompact: %q", err, src, compact)
+		}
+		if !Equal(doc.Root, back2.Root) {
+			t.Fatalf("compact round trip changed the document\ninput: %q\ncompact: %q", src, compact)
+		}
+	})
+}

@@ -1,0 +1,54 @@
+package xquery
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzParse drives the query parser with arbitrary input. The contract
+// under test: Parse never panics — malformed queries come back as a
+// *ParseError carrying a sane source location — and any accepted tree is
+// walkable without nil nodes panicking the visitor.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`FOR $b in doc("gatech.xml")/gatech/Course
+WHERE $b/Instructor = "Mark"
+RETURN $b`,
+		`FOR $b in doc("cmu.xml")/cmu/Course WHERE $b/Units >= 9 RETURN $b/Title`,
+		`FOR $a in doc("a.xml")/r/c, $b in doc("b.xml")/r/c WHERE $a/x = $b/x RETURN ($a, $b)`,
+		`FOR $b in doc("x.xml")/r/c WHERE contains($b/Title, "Data") RETURN $b`,
+		`FOR $b in doc("x.xml")/r/c WHERE $b/T = "a" and not($b/U = "b") or $b/V != "c" RETURN $b`,
+		`"just a literal"`,
+		``,
+		`FOR`,
+		`FOR $b in doc("x")/r/c RETURN`,
+		`FOR $b in doc("x")/r/c WHERE $b/T = !! RETURN $b`,
+		"FOR $b in doc(\"x\")/r/c where $b/@attr = 'single' return <r>{$b}</r>",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		expr, err := Parse(src)
+		if err != nil {
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("Parse(%q) returned an untyped error: %v", src, err)
+			}
+			if pe.Line < 1 || pe.Column < 1 || pe.Pos < 0 || pe.Pos > len(src) {
+				t.Fatalf("Parse(%q): error location out of range: %+v", src, pe)
+			}
+			return
+		}
+		if expr == nil {
+			t.Fatalf("Parse(%q) returned nil expr and nil error", src)
+		}
+		// Every node the walker visits must be non-nil.
+		Walk(expr, func(e Expr) bool {
+			if e == nil {
+				t.Fatalf("Parse(%q): walk visited a nil node", src)
+			}
+			return true
+		})
+	})
+}

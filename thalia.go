@@ -22,6 +22,7 @@
 package thalia
 
 import (
+	"context"
 	"net/http"
 
 	"thalia/internal/benchmark"
@@ -103,6 +104,15 @@ func Heterogeneities() []hetero.Case { return hetero.AllCases() }
 // DescribeHeterogeneity returns the metadata for one case.
 func DescribeHeterogeneity(c hetero.Case) (hetero.Info, error) { return hetero.Describe(c) }
 
+// Runner evaluates systems on the benchmark. Its Concurrency and
+// QueryTimeout fields configure the concurrent evaluation engine; the zero
+// cases (one worker per CPU, no timeout) suit most callers.
+type Runner = benchmark.Runner
+
+// NewRunner returns a Runner over the twelve benchmark queries using one
+// worker per CPU.
+func NewRunner() *Runner { return benchmark.NewRunner() }
+
 // Evaluate runs the full benchmark against a system and scores it.
 func Evaluate(sys System) (*Scorecard, error) {
 	return benchmark.NewRunner().Evaluate(sys)
@@ -112,6 +122,13 @@ func Evaluate(sys System) (*Scorecard, error) {
 // rank order (most correct answers first; lower complexity breaks ties).
 func EvaluateAll(systems ...System) ([]*Scorecard, error) {
 	return benchmark.NewRunner().EvaluateAll(systems...)
+}
+
+// EvaluateAllContext is EvaluateAll with cancellation: ctx aborts the
+// evaluation between query cells, and the ranked scorecards are identical
+// to the sequential path regardless of worker count.
+func EvaluateAllContext(ctx context.Context, systems ...System) ([]*Scorecard, error) {
+	return benchmark.NewRunner().EvaluateAllContext(ctx, systems...)
 }
 
 // Comparison renders the Section 4.2-style side-by-side table.
