@@ -1,0 +1,236 @@
+// Command thalia-bench runs the repo's performance harnesses and gates CI
+// on their results.
+//
+//	thalia-bench engine  [-out BENCH_engine.json] [-runs 3] [-pool N]
+//	thalia-bench server  [-out BENCH_server.json] [-clients 8] [-requests 50]
+//	thalia-bench compare -baseline BENCH_engine.json -fresh fresh.json
+//	                     [-tolerance 0.30] [-slowdown 1.0]
+//
+// engine times benchmark.MeasureEngine (sequential vs parallel EvaluateAll
+// over the four built-in systems); server drives website.MeasureServer (N
+// concurrent clients replaying the catalog/schema/query routes). compare
+// reads two artifacts of the same suite and fails (exit 1) if the fresh
+// run regressed beyond the tolerance: engine ns/op per configuration,
+// server p95 per route. -slowdown multiplies the fresh numbers first — an
+// injected regression that proves the gate actually trips.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+
+	"thalia/internal/benchmark"
+	"thalia/internal/cohera"
+	"thalia/internal/integration"
+	"thalia/internal/iwiz"
+	"thalia/internal/rewrite"
+	"thalia/internal/ufmw"
+	"thalia/internal/website"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "thalia-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("need a subcommand: engine | server | compare")
+	}
+	switch args[0] {
+	case "engine":
+		return engineCmd(args[1:], out)
+	case "server":
+		return serverCmd(args[1:], out)
+	case "compare":
+		return compareCmd(args[1:], out)
+	default:
+		return fmt.Errorf("unknown subcommand %q (engine | server | compare)", args[0])
+	}
+}
+
+func systems() []integration.System {
+	return []integration.System{cohera.New(), iwiz.New(), ufmw.New(), rewrite.NewSystem()}
+}
+
+func engineCmd(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("engine", flag.ContinueOnError)
+	path := fs.String("out", "BENCH_engine.json", "artifact path")
+	runs := fs.Int("runs", 3, "EvaluateAll executions per configuration")
+	pool := fs.Int("pool", runtime.GOMAXPROCS(0), "parallel pool size to measure")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *pool < 2 {
+		*pool = 2
+	}
+	rep, err := benchmark.MeasureEngine(*runs, []int{*pool}, systems()...)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(*path); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "engine: %d configs, speedup %.2fx, wrote %s\n", len(rep.Timings), rep.Speedup, *path)
+	return nil
+}
+
+func serverCmd(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("server", flag.ContinueOnError)
+	path := fs.String("out", "BENCH_server.json", "artifact path")
+	clients := fs.Int("clients", 8, "concurrent clients")
+	requests := fs.Int("requests", 50, "requests per client")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rep, err := website.MeasureServer(*clients, *requests)
+	if err != nil {
+		return err
+	}
+	if rep.Non200 > 0 {
+		return fmt.Errorf("load harness saw %d non-200 responses", rep.Non200)
+	}
+	if err := rep.WriteJSON(*path); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "server: %d requests at %.0f req/s over %d routes, wrote %s\n",
+		rep.TotalRequests, rep.ThroughputRPS, len(rep.Routes), *path)
+	return nil
+}
+
+// suiteProbe reads just the suite discriminator of a BENCH_*.json file.
+type suiteProbe struct {
+	Suite string `json:"suite"`
+}
+
+func compareCmd(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+	basePath := fs.String("baseline", "", "committed BENCH_*.json")
+	freshPath := fs.String("fresh", "", "freshly measured BENCH_*.json")
+	tolerance := fs.Float64("tolerance", 0.30, "allowed relative slowdown (0.30 = +30%)")
+	slowdown := fs.Float64("slowdown", 1.0, "multiply fresh numbers (gate self-test)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *basePath == "" || *freshPath == "" {
+		return fmt.Errorf("compare: need -baseline and -fresh")
+	}
+	baseRaw, err := os.ReadFile(*basePath)
+	if err != nil {
+		return err
+	}
+	freshRaw, err := os.ReadFile(*freshPath)
+	if err != nil {
+		return err
+	}
+	var baseProbe, freshProbe suiteProbe
+	if err := json.Unmarshal(baseRaw, &baseProbe); err != nil {
+		return fmt.Errorf("%s: %w", *basePath, err)
+	}
+	if err := json.Unmarshal(freshRaw, &freshProbe); err != nil {
+		return fmt.Errorf("%s: %w", *freshPath, err)
+	}
+	if baseProbe.Suite != freshProbe.Suite {
+		return fmt.Errorf("suite mismatch: baseline %q vs fresh %q", baseProbe.Suite, freshProbe.Suite)
+	}
+
+	var regressions []string
+	switch baseProbe.Suite {
+	case "benchmark_engine":
+		regressions, err = compareEngine(baseRaw, freshRaw, *tolerance, *slowdown, out)
+	case "website_server":
+		regressions, err = compareServer(baseRaw, freshRaw, *tolerance, *slowdown, out)
+	default:
+		return fmt.Errorf("unknown suite %q", baseProbe.Suite)
+	}
+	if err != nil {
+		return err
+	}
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintf(out, "REGRESSION: %s\n", r)
+		}
+		return fmt.Errorf("%d metric(s) regressed beyond +%.0f%%", len(regressions), *tolerance*100)
+	}
+	fmt.Fprintf(out, "compare: %s within +%.0f%% of baseline\n", baseProbe.Suite, *tolerance*100)
+	return nil
+}
+
+// check appends a regression line if fresh exceeds base by more than tol,
+// and always prints the comparison row.
+func check(out io.Writer, regressions []string, name string, base, fresh, tol float64, unit string) []string {
+	limit := base * (1 + tol)
+	status := "ok"
+	if fresh > limit {
+		status = "REGRESSED"
+		regressions = append(regressions,
+			fmt.Sprintf("%s: %.3f%s vs baseline %.3f%s (limit %.3f%s)", name, fresh, unit, base, unit, limit, unit))
+	}
+	delta := 0.0
+	if base > 0 {
+		delta = (fresh - base) / base * 100
+	}
+	fmt.Fprintf(out, "  %-34s %12.3f%s %12.3f%s %+7.1f%% %s\n", name, base, unit, fresh, unit, delta, status)
+	return regressions
+}
+
+func compareEngine(baseRaw, freshRaw []byte, tol, slowdown float64, out io.Writer) ([]string, error) {
+	var base, fresh benchmark.Report
+	if err := json.Unmarshal(baseRaw, &base); err != nil {
+		return nil, err
+	}
+	if err := json.Unmarshal(freshRaw, &fresh); err != nil {
+		return nil, err
+	}
+	freshBy := map[string]benchmark.Timing{}
+	for _, tm := range fresh.Timings {
+		freshBy[tm.Name] = tm
+	}
+	fmt.Fprintf(out, "engine compare (%-s): baseline vs fresh ns/op\n", base.Suite)
+	var regressions []string
+	for _, tm := range base.Timings {
+		ft, ok := freshBy[tm.Name]
+		if !ok {
+			regressions = append(regressions, fmt.Sprintf("%s: missing from fresh run", tm.Name))
+			continue
+		}
+		regressions = check(out, regressions, tm.Name,
+			float64(tm.NsPerOp)/1e6, float64(ft.NsPerOp)/1e6*slowdown, tol, "ms")
+	}
+	return regressions, nil
+}
+
+func compareServer(baseRaw, freshRaw []byte, tol, slowdown float64, out io.Writer) ([]string, error) {
+	var base, fresh website.ServerReport
+	if err := json.Unmarshal(baseRaw, &base); err != nil {
+		return nil, err
+	}
+	if err := json.Unmarshal(freshRaw, &fresh); err != nil {
+		return nil, err
+	}
+	freshBy := map[string]website.RouteTiming{}
+	for _, rt := range fresh.Routes {
+		freshBy[rt.Route] = rt
+	}
+	fmt.Fprintf(out, "server compare: baseline vs fresh p95 per route\n")
+	var regressions []string
+	for _, rt := range base.Routes {
+		ft, ok := freshBy[rt.Route]
+		if !ok {
+			regressions = append(regressions, fmt.Sprintf("%s: missing from fresh run", rt.Route))
+			continue
+		}
+		regressions = check(out, regressions, rt.Route, rt.P95MS, ft.P95MS*slowdown, tol, "ms")
+	}
+	if fresh.Non200 > base.Non200 {
+		regressions = append(regressions,
+			fmt.Sprintf("non-200 responses: %d vs baseline %d", fresh.Non200, base.Non200))
+	}
+	return regressions, nil
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"thalia/internal/benchmark"
+	"thalia/internal/website"
+)
+
+// writeReports produces a small real engine artifact and a fresh copy —
+// identical runs, so compare must pass at any sane tolerance.
+func writeEngineReport(t *testing.T, path string) {
+	t.Helper()
+	rep, err := benchmark.MeasureEngine(1, []int{2}, systems()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareEnginePassAndInjectedSlowdownFails(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	writeEngineReport(t, base)
+
+	// Same artifact on both sides: zero delta, must pass.
+	var out strings.Builder
+	if err := run([]string{"compare", "-baseline", base, "-fresh", base}, &out); err != nil {
+		t.Fatalf("identical compare failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "within +30%") {
+		t.Errorf("missing pass notice:\n%s", out.String())
+	}
+
+	// The CI gate's reason to exist: a 2× slowdown must fail.
+	out.Reset()
+	err := run([]string{"compare", "-baseline", base, "-fresh", base, "-slowdown", "2.0"}, &out)
+	if err == nil {
+		t.Fatalf("2x slowdown passed the gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("missing regression lines:\n%s", out.String())
+	}
+}
+
+func TestCompareServerSuite(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	rep, err := website.MeasureServer(2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.WriteJSON(base); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"compare", "-baseline", base, "-fresh", base}, &out); err != nil {
+		t.Fatalf("identical server compare failed: %v\n%s", err, out.String())
+	}
+	if err := run([]string{"compare", "-baseline", base, "-fresh", base, "-slowdown", "3"}, &out); err == nil {
+		t.Fatal("3x server slowdown passed the gate")
+	}
+}
+
+func TestCompareSuiteMismatch(t *testing.T) {
+	dir := t.TempDir()
+	engine := filepath.Join(dir, "engine.json")
+	server := filepath.Join(dir, "server.json")
+	writeEngineReport(t, engine)
+	rep, err := website.MeasureServer(1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.WriteJSON(server); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"compare", "-baseline", engine, "-fresh", server}, &out); err == nil ||
+		!strings.Contains(err.Error(), "suite mismatch") {
+		t.Fatalf("err = %v, want suite mismatch", err)
+	}
+}

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a goroutine-safe Writer the server's stdout goes to.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+var listenRE = regexp.MustCompile(`listening on (\S+:\d+)`)
+
+// TestServerSmoke boots the real server on :0, hits the health and
+// observability endpoints over real HTTP, then cancels the run context and
+// requires a clean drain — the signal-driven shutdown path minus the
+// signal.
+func TestServerSmoke(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var stdout syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-quiet", "-drain", "5s"}, &stdout, io.Discard)
+	}()
+
+	// Wait for the listener to report its address.
+	var addr string
+	for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline); {
+		if m := listenRE.FindStringSubmatch(stdout.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("server exited before listening: %v", err)
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	if addr == "" {
+		t.Fatalf("server never reported its address; stdout: %q", stdout.String())
+	}
+	base := "http://" + addr
+
+	get := func(path string) (*http.Response, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, string(body)
+	}
+
+	resp, body := get("/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d %s", resp.StatusCode, body)
+	}
+	var health struct {
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal([]byte(body), &health); err != nil || health.Status != "ok" {
+		t.Errorf("healthz body = %q (err %v)", body, err)
+	}
+	if resp.Header.Get("X-Request-ID") == "" {
+		t.Error("healthz response missing X-Request-ID (middleware not mounted)")
+	}
+
+	// A page request, then its footprint in /metrics.
+	if resp, _ := get("/catalogs"); resp.StatusCode != http.StatusOK {
+		t.Errorf("catalogs: %d", resp.StatusCode)
+	}
+	if _, body := get("/metrics?format=prometheus"); !strings.Contains(body, `http_requests_total{code="200",route="/catalogs"} 1`) {
+		t.Errorf("metrics missing catalogs counter:\n%.600s", body)
+	}
+
+	// pprof is mounted.
+	if resp, _ := get("/debug/pprof/cmdline"); resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof cmdline: %d", resp.StatusCode)
+	}
+
+	// Cancel = SIGINT: the server must drain and return nil promptly.
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown returned %v, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down within 10s")
+	}
+	if !strings.Contains(stdout.String(), "shutting down") {
+		t.Errorf("stdout missing shutdown notice: %q", stdout.String())
+	}
+}
+
+// A second server on the same port must fail fast with the listen error,
+// not hang — the run function surfaces startup errors.
+func TestServerListenError(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var stdout syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-quiet"}, &stdout, io.Discard)
+	}()
+	var addr string
+	for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline); {
+		if m := listenRE.FindStringSubmatch(stdout.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if addr == "" {
+		t.Fatal("first server never came up")
+	}
+	err := run(context.Background(), []string{"-addr", addr, "-quiet"}, io.Discard, io.Discard)
+	if err == nil {
+		t.Fatal("second listener on the same port succeeded, want error")
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("first server shutdown: %v", err)
+	}
+}

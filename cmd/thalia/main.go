@@ -12,7 +12,7 @@
 //	thalia queries                     the twelve benchmark queries
 //	thalia solution <n>                sample solution for query n
 //	thalia xq '<query>'                run an XQuery against the testbed
-//	thalia bench [--system name]... [--parallel N] [--timeout D]
+//	thalia bench [--system name]... [--parallel N] [--timeout D] [--telemetry]
 //	                                   evaluate systems (default: all)
 //	thalia hetero                      the heterogeneity classification
 package main
@@ -27,6 +27,8 @@ import (
 	"time"
 
 	"thalia"
+	"thalia/internal/benchmark"
+	"thalia/internal/telemetry"
 	"thalia/internal/tess"
 )
 
@@ -84,7 +86,9 @@ Commands:
   bench [--system name]...  evaluate integration systems
         [--parallel N]      (cohera|iwiz|mediator|declarative);
         [--timeout D]       N workers (default: one per CPU), per-query
-                            timeout D (e.g. 30s; default: none)
+        [--telemetry]       timeout D (e.g. 30s; default: none); --telemetry
+                            prints an engine metrics snapshot (per-query
+                            p50/p95/p99 latency, queue wait, errors)
   export <dir>              write the whole testbed to disk (HTML, XML,
                             XSD, wrapper configs, queries, solutions)
   validate                  re-extract and validate every source
@@ -193,8 +197,12 @@ func bench(args []string) error {
 	}
 	runner := thalia.NewRunner()
 	var systems []thalia.System
+	var reg *telemetry.Registry
 	for i := 0; i < len(args); i++ {
 		switch args[i] {
+		case "--telemetry":
+			reg = telemetry.NewRegistry()
+			runner.Telemetry = reg
 		case "--system":
 			i++
 			if i >= len(args) {
@@ -242,6 +250,9 @@ func bench(args []string) error {
 	fmt.Println(thalia.Comparison(cards))
 	for _, card := range cards {
 		fmt.Println(card.Format())
+	}
+	if reg != nil {
+		fmt.Println(benchmark.FormatEngineMetrics(reg.Snapshot()))
 	}
 	return nil
 }

@@ -17,8 +17,9 @@ var ErrQueryTimeout = errors.New("benchmark: query evaluation timed out")
 
 // cell is one query×system evaluation unit of work.
 type cell struct {
-	sys   int // index into the systems slice
-	query int // index into r.Queries
+	sys      int       // index into the systems slice
+	query    int       // index into r.Queries
+	enqueued time.Time // when the feeder offered the cell (telemetry only)
 }
 
 // concurrency resolves the runner's worker-pool size: an explicit positive
@@ -68,12 +69,27 @@ func (r *Runner) EvaluateAllContext(ctx context.Context, systems ...integration.
 	if n := len(systems) * len(r.Queries); workers > n {
 		workers = n
 	}
+	tel := r.Telemetry
+	if tel != nil {
+		tel.Gauge(MetricWorkers).Set(int64(workers))
+	}
 	done := make(chan struct{})
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer func() { done <- struct{}{} }()
 			for c := range cells {
-				cards[c.sys].Results[c.query] = r.evalCell(ctx, systems[c.sys], r.Queries[c.query])
+				if tel == nil {
+					cards[c.sys].Results[c.query] = r.evalCell(ctx, systems[c.sys], r.Queries[c.query])
+					continue
+				}
+				tel.Histogram(MetricQueueWait).ObserveDuration(time.Since(c.enqueued))
+				busy := tel.Gauge(MetricBusyWorkers)
+				busy.Inc()
+				start := time.Now()
+				res := r.evalCell(ctx, systems[c.sys], r.Queries[c.query])
+				busy.Dec()
+				cards[c.sys].Results[c.query] = res
+				r.recordCell(systems[c.sys].Name(), r.Queries[c.query].ID, res, time.Since(start))
 			}
 		}()
 	}
@@ -81,8 +97,12 @@ func (r *Runner) EvaluateAllContext(ctx context.Context, systems ...integration.
 feed:
 	for qi := range r.Queries {
 		for si := range systems {
+			c := cell{sys: si, query: qi}
+			if tel != nil {
+				c.enqueued = time.Now()
+			}
 			select {
-			case cells <- cell{sys: si, query: qi}:
+			case cells <- c:
 			case <-ctx.Done():
 				break feed
 			}

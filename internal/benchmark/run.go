@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"thalia/internal/integration"
+	"thalia/internal/telemetry"
 )
 
 // Runner evaluates integration systems on the benchmark. The zero value is
@@ -22,6 +23,12 @@ type Runner struct {
 	// that overruns is recorded as a per-query error (ErrQueryTimeout)
 	// rather than hanging the evaluation. Zero means no timeout.
 	QueryTimeout time.Duration
+	// Telemetry, when non-nil, receives engine metrics: per-cell queue
+	// wait and evaluation latency (engine_queue_wait_seconds,
+	// engine_eval_seconds{system,query}), timeout/error counts and
+	// worker-pool utilization. Metrics observe the evaluation from the
+	// outside; scorecards are byte-identical with or without it.
+	Telemetry *telemetry.Registry
 }
 
 // NewRunner returns a runner over all twelve queries.

@@ -1,0 +1,93 @@
+package benchmark
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"thalia/internal/telemetry"
+)
+
+// Engine metric names, as they appear in snapshots and /metrics.
+const (
+	// MetricQueueWait is the histogram of per-cell queue wait: the time
+	// between a query×system cell being offered to the pool and a worker
+	// picking it up. No labels — it measures the pool, not the workload.
+	MetricQueueWait = "engine_queue_wait_seconds"
+	// MetricEvalLatency is the histogram of per-cell evaluation latency,
+	// labeled by system and query (q01..q12).
+	MetricEvalLatency = "engine_eval_seconds"
+	// MetricCells counts evaluated cells per system.
+	MetricCells = "engine_cells_total"
+	// MetricErrors counts cells that degraded to a per-query error
+	// (excluding timeouts), per system.
+	MetricErrors = "engine_errors_total"
+	// MetricTimeouts counts cells that hit the per-query timeout, per
+	// system.
+	MetricTimeouts = "engine_timeouts_total"
+	// MetricBusyWorkers gauges how many pool workers are evaluating a
+	// cell right now; MetricWorkers gauges the pool size.
+	MetricBusyWorkers = "engine_busy_workers"
+	MetricWorkers     = "engine_workers"
+)
+
+// QueryLabel renders a query ID the way engine metrics label it: q01..q12.
+func QueryLabel(id int) string { return fmt.Sprintf("q%02d", id) }
+
+// recordCell records one finished cell's telemetry. Called by the worker
+// loop only when r.Telemetry is non-nil.
+func (r *Runner) recordCell(system string, queryID int, res QueryResult, d time.Duration) {
+	tel := r.Telemetry
+	sys := telemetry.L("system", system)
+	tel.Counter(MetricCells, sys).Inc()
+	tel.Histogram(MetricEvalLatency, sys, telemetry.L("query", QueryLabel(queryID))).ObserveDuration(d)
+	switch {
+	case res.Err == "":
+	case strings.Contains(res.Err, ErrQueryTimeout.Error()):
+		tel.Counter(MetricTimeouts, sys).Inc()
+	default:
+		tel.Counter(MetricErrors, sys).Inc()
+	}
+}
+
+// FormatEngineMetrics renders an engine metrics snapshot as the text block
+// `thalia bench --telemetry` prints: per-query p95 evaluation latency by
+// system, queue-wait quantiles, and error/timeout totals.
+func FormatEngineMetrics(snap *telemetry.Snapshot) string {
+	var b strings.Builder
+	b.WriteString("Engine telemetry\n\n")
+	b.WriteString("Per-query evaluation latency (p50 / p95 / p99, ms):\n")
+	fmt.Fprintf(&b, "  %-22s %-5s %10s %10s %10s %8s\n", "SYSTEM", "QUERY", "P50", "P95", "P99", "COUNT")
+	for _, h := range snap.Histograms {
+		if h.Name != MetricEvalLatency {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-22s %-5s %10.3f %10.3f %10.3f %8d\n",
+			h.Labels["system"], h.Labels["query"],
+			h.P50*1000, h.P95*1000, h.P99*1000, h.Count)
+	}
+	for _, h := range snap.Histograms {
+		if h.Name == MetricQueueWait {
+			fmt.Fprintf(&b, "\nQueue wait: p50 %.3fms  p95 %.3fms  p99 %.3fms over %d cells\n",
+				h.P50*1000, h.P95*1000, h.P99*1000, h.Count)
+		}
+	}
+	cells, errs, timeouts := int64(0), int64(0), int64(0)
+	for _, c := range snap.Counters {
+		switch c.Name {
+		case MetricCells:
+			cells += c.Value
+		case MetricErrors:
+			errs += c.Value
+		case MetricTimeouts:
+			timeouts += c.Value
+		}
+	}
+	fmt.Fprintf(&b, "Cells evaluated: %d  errors: %d  timeouts: %d\n", cells, errs, timeouts)
+	for _, g := range snap.Gauges {
+		if g.Name == MetricWorkers {
+			fmt.Fprintf(&b, "Worker pool size: %d\n", g.Value)
+		}
+	}
+	return b.String()
+}

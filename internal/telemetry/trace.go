@@ -1,0 +1,185 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultTraceCapacity is the ring-buffer size of a NewTracer.
+const DefaultTraceCapacity = 128
+
+// Tracer records lightweight spans grouped into traces and keeps the most
+// recent completed traces in a fixed-size ring buffer, newest first. IDs
+// are process-local monotonic counters (hex-formatted), not random: they
+// only need to be unique within one server's /debug/traces window, and a
+// counter keeps tests deterministic.
+type Tracer struct {
+	nextID atomic.Uint64
+
+	mu     sync.Mutex
+	ring   []*Trace // ring[pos] is the oldest slot to overwrite next
+	pos    int
+	filled int
+}
+
+// NewTracer returns a tracer keeping the DefaultTraceCapacity most recent
+// traces. capacity <= 0 falls back to the default.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{ring: make([]*Trace, capacity)}
+}
+
+// Trace is one completed request/operation: a root span plus any child
+// spans recorded before the root ended.
+type Trace struct {
+	ID    string    `json:"id"`
+	Name  string    `json:"name"`
+	Start time.Time `json:"start"`
+	// DurationMS is the root span's wall-clock duration in milliseconds.
+	DurationMS float64    `json:"duration_ms"`
+	Spans      []SpanInfo `json:"spans"`
+}
+
+// SpanInfo is the recorded form of one span.
+type SpanInfo struct {
+	SpanID   string `json:"span_id"`
+	ParentID string `json:"parent_id,omitempty"`
+	Name     string `json:"name"`
+	// OffsetMS is the span start relative to the trace start.
+	OffsetMS   float64           `json:"offset_ms"`
+	DurationMS float64           `json:"duration_ms"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+}
+
+// Span is a live span. End it exactly once; ending the root span records
+// the whole trace into the tracer's ring buffer.
+type Span struct {
+	tracer   *Tracer
+	traceID  string
+	spanID   string
+	parentID string
+	name     string
+	start    time.Time
+	attrs    []Label
+
+	root *rootState // shared by every span of one trace
+}
+
+// rootState accumulates the spans of one trace until the root ends.
+type rootState struct {
+	mu        sync.Mutex
+	rootStart time.Time
+	spans     []SpanInfo
+	done      bool
+}
+
+func (t *Tracer) id() string { return fmt.Sprintf("%08x", t.nextID.Add(1)) }
+
+// Start begins a new trace rooted at a span with the given name.
+func (t *Tracer) Start(name string, attrs ...Label) *Span {
+	id := t.id()
+	now := time.Now()
+	return &Span{
+		tracer:  t,
+		traceID: id,
+		spanID:  id,
+		name:    name,
+		start:   now,
+		attrs:   attrs,
+		root:    &rootState{rootStart: now},
+	}
+}
+
+// Child begins a sub-span of s.
+func (s *Span) Child(name string, attrs ...Label) *Span {
+	return &Span{
+		tracer:   s.tracer,
+		traceID:  s.traceID,
+		spanID:   s.tracer.id(),
+		parentID: s.spanID,
+		name:     name,
+		start:    time.Now(),
+		attrs:    attrs,
+		root:     s.root,
+	}
+}
+
+// SetAttr attaches a key=value attribute to the span. Not safe for
+// concurrent use on one span (spans are owned by one goroutine).
+func (s *Span) SetAttr(key, value string) {
+	s.attrs = append(s.attrs, Label{Key: key, Value: value})
+}
+
+// TraceID returns the span's trace ID (useful for request-ID headers).
+func (s *Span) TraceID() string { return s.traceID }
+
+// End finishes the span. Ending the root span seals the trace and pushes
+// it into the tracer's ring buffer; child spans ended after that are
+// dropped. End is idempotent per span only in effect — call it once.
+func (s *Span) End() {
+	d := time.Since(s.start)
+	info := SpanInfo{
+		SpanID:     s.spanID,
+		ParentID:   s.parentID,
+		Name:       s.name,
+		OffsetMS:   float64(s.start.Sub(s.root.rootStart)) / float64(time.Millisecond),
+		DurationMS: float64(d) / float64(time.Millisecond),
+	}
+	if len(s.attrs) > 0 {
+		info.Attrs = labelMap(sortLabels(s.attrs))
+	}
+	s.root.mu.Lock()
+	if s.root.done {
+		s.root.mu.Unlock()
+		return
+	}
+	s.root.spans = append(s.root.spans, info)
+	isRoot := s.parentID == ""
+	var spans []SpanInfo
+	if isRoot {
+		s.root.done = true
+		spans = s.root.spans
+	}
+	s.root.mu.Unlock()
+	if !isRoot {
+		return
+	}
+	s.tracer.record(&Trace{
+		ID:         s.traceID,
+		Name:       s.name,
+		Start:      s.start,
+		DurationMS: float64(d) / float64(time.Millisecond),
+		Spans:      spans,
+	})
+}
+
+// record pushes a completed trace into the ring buffer.
+func (t *Tracer) record(tr *Trace) {
+	t.mu.Lock()
+	t.ring[t.pos] = tr
+	t.pos = (t.pos + 1) % len(t.ring)
+	if t.filled < len(t.ring) {
+		t.filled++
+	}
+	t.mu.Unlock()
+}
+
+// Recent returns up to n completed traces, newest first. n <= 0 means all
+// buffered traces.
+func (t *Tracer) Recent(n int) []*Trace {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n <= 0 || n > t.filled {
+		n = t.filled
+	}
+	out := make([]*Trace, 0, n)
+	for i := 0; i < n; i++ {
+		idx := (t.pos - 1 - i + len(t.ring)*2) % len(t.ring)
+		out = append(out, t.ring[idx])
+	}
+	return out
+}

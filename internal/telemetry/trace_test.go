@@ -1,0 +1,106 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestTraceSpansAndParentLinks(t *testing.T) {
+	tr := NewTracer(8)
+	root := tr.Start("GET /catalogs", L("route", "/catalogs"))
+	child := root.Child("render")
+	grand := child.Child("encode")
+	grand.End()
+	child.End()
+	if len(tr.Recent(0)) != 0 {
+		t.Fatal("trace recorded before root span ended")
+	}
+	root.End()
+
+	traces := tr.Recent(0)
+	if len(traces) != 1 {
+		t.Fatalf("recent traces = %d, want 1", len(traces))
+	}
+	got := traces[0]
+	if got.Name != "GET /catalogs" || got.ID == "" {
+		t.Errorf("trace = %+v", got)
+	}
+	if len(got.Spans) != 3 {
+		t.Fatalf("spans = %d, want 3", len(got.Spans))
+	}
+	byName := map[string]SpanInfo{}
+	for _, s := range got.Spans {
+		byName[s.Name] = s
+	}
+	rootSpan, renderSpan, encodeSpan := byName["GET /catalogs"], byName["render"], byName["encode"]
+	if rootSpan.ParentID != "" {
+		t.Errorf("root parent = %q, want none", rootSpan.ParentID)
+	}
+	if renderSpan.ParentID != rootSpan.SpanID {
+		t.Errorf("render parent = %q, want %q", renderSpan.ParentID, rootSpan.SpanID)
+	}
+	if encodeSpan.ParentID != renderSpan.SpanID {
+		t.Errorf("encode parent = %q, want %q", encodeSpan.ParentID, renderSpan.SpanID)
+	}
+	if rootSpan.Attrs["route"] != "/catalogs" {
+		t.Errorf("root attrs = %v", rootSpan.Attrs)
+	}
+}
+
+func TestTraceRingBufferEviction(t *testing.T) {
+	tr := NewTracer(3)
+	for i := 1; i <= 5; i++ {
+		s := tr.Start(fmt.Sprintf("op%d", i))
+		s.End()
+	}
+	traces := tr.Recent(0)
+	if len(traces) != 3 {
+		t.Fatalf("recent = %d, want capacity 3", len(traces))
+	}
+	// Newest first; the two oldest (op1, op2) were evicted.
+	for i, want := range []string{"op5", "op4", "op3"} {
+		if traces[i].Name != want {
+			t.Errorf("traces[%d] = %s, want %s", i, traces[i].Name, want)
+		}
+	}
+	if got := tr.Recent(2); len(got) != 2 || got[0].Name != "op5" {
+		t.Errorf("Recent(2) = %d traces, first %q", len(got), got[0].Name)
+	}
+}
+
+func TestTraceLateChildDropped(t *testing.T) {
+	tr := NewTracer(4)
+	root := tr.Start("req")
+	child := root.Child("slow")
+	root.End()
+	child.End() // after the trace sealed: must not panic or mutate
+	traces := tr.Recent(0)
+	if len(traces) != 1 || len(traces[0].Spans) != 1 {
+		t.Fatalf("late child leaked into sealed trace: %+v", traces)
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				s := tr.Start(fmt.Sprintf("g%d", g))
+				c := s.Child("work")
+				c.End()
+				s.End()
+				if i%10 == 0 {
+					_ = tr.Recent(0)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := len(tr.Recent(0)); got != 16 {
+		t.Errorf("ring holds %d traces, want 16", got)
+	}
+}

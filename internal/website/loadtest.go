@@ -1,0 +1,195 @@
+package website
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// LoadRoutes are the routes MeasureServer replays: the catalog, schema and
+// query read paths plus the health probe — the site's hot serving surface.
+// Download/zip routes are excluded: they dominate wall-clock and measure
+// archive/zip, not the site.
+var LoadRoutes = []string{
+	"/",
+	"/catalogs",
+	"/catalogs/brown",
+	"/browse/cmu",
+	"/schema/cmu",
+	"/queries",
+	"/healthz",
+}
+
+// RouteTiming is one route's measured distribution in a ServerReport.
+// Quantiles come from the site's own http_request_seconds histogram — the
+// harness exercises the same telemetry the /metrics endpoint serves.
+type RouteTiming struct {
+	Route    string  `json:"route"`
+	Requests int64   `json:"requests"`
+	P50MS    float64 `json:"p50_ms"`
+	P95MS    float64 `json:"p95_ms"`
+	P99MS    float64 `json:"p99_ms"`
+	MeanMS   float64 `json:"mean_ms"`
+}
+
+// ServerReport is the BENCH_server.json artifact: the load-harness
+// configuration, aggregate throughput, and per-route latency quantiles.
+type ServerReport struct {
+	Suite             string `json:"suite"`
+	GoMaxProcs        int    `json:"gomaxprocs"`
+	Clients           int    `json:"clients"`
+	RequestsPerClient int    `json:"requests_per_client"`
+	TotalRequests     int64  `json:"total_requests"`
+	// Non200 counts responses with any status other than 200 OK; the
+	// harness only replays routes that must succeed, so this should be 0.
+	Non200        int64         `json:"non_200"`
+	DurationNS    int64         `json:"duration_ns"`
+	ThroughputRPS float64       `json:"throughput_rps"`
+	Routes        []RouteTiming `json:"routes"`
+}
+
+// MeasureServer stands up a fresh in-process site and replays LoadRoutes
+// from `clients` concurrent goroutines, `requestsPerClient` requests each,
+// round-robin over the route list. The handler runs with its full
+// middleware stack, so the measurement includes telemetry overhead — the
+// number CI gates on is the number production would see. Requests are
+// dispatched in-process (no sockets): the harness measures handler +
+// middleware latency, not the kernel's TCP stack.
+func MeasureServer(clients, requestsPerClient int) (*ServerReport, error) {
+	if clients <= 0 {
+		clients = 8
+	}
+	if requestsPerClient <= 0 {
+		requestsPerClient = 50
+	}
+	site := New()
+	handler := site.Handler()
+
+	// Warm once per route so one-time catalog materialization doesn't
+	// distort the distribution (MeasureEngine does the same).
+	for _, route := range LoadRoutes {
+		if code, err := replay(handler, route); err != nil {
+			return nil, err
+		} else if code != http.StatusOK {
+			return nil, fmt.Errorf("website: warm-up %s returned %d", route, code)
+		}
+	}
+
+	var non200 int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			bad := int64(0)
+			for i := 0; i < requestsPerClient; i++ {
+				route := LoadRoutes[(c+i)%len(LoadRoutes)]
+				code, err := replay(handler, route)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if code != http.StatusOK {
+					bad++
+				}
+			}
+			mu.Lock()
+			non200 += bad
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+
+	total := int64(clients) * int64(requestsPerClient)
+	rep := &ServerReport{
+		Suite:             "website_server",
+		GoMaxProcs:        runtime.GOMAXPROCS(0),
+		Clients:           clients,
+		RequestsPerClient: requestsPerClient,
+		TotalRequests:     total,
+		Non200:            non200,
+		DurationNS:        elapsed.Nanoseconds(),
+		ThroughputRPS:     float64(total) / elapsed.Seconds(),
+	}
+	// Read the per-route distributions back out of the site's own
+	// registry (each route's count includes its one warm-up request).
+	snap := site.Metrics().Snapshot()
+	for _, route := range LoadRoutes {
+		for _, h := range snap.Histograms {
+			if h.Name != MetricHTTPLatency || h.Labels["route"] != routeLabel(route) {
+				continue
+			}
+			rep.Routes = append(rep.Routes, RouteTiming{
+				Route:    route,
+				Requests: h.Count,
+				P50MS:    h.P50 * 1000,
+				P95MS:    h.P95 * 1000,
+				P99MS:    h.P99 * 1000,
+				MeanMS:   h.Mean * 1000,
+			})
+		}
+	}
+	return rep, nil
+}
+
+// replay dispatches one in-process GET and returns the status code.
+func replay(handler http.Handler, route string) (int, error) {
+	req, err := http.NewRequest(http.MethodGet, "http://thalia.test"+route, nil)
+	if err != nil {
+		return 0, err
+	}
+	w := &discardWriter{header: http.Header{}}
+	handler.ServeHTTP(w, req)
+	return w.status(), nil
+}
+
+// discardWriter is a ResponseWriter that throws the body away — the
+// harness times handlers, it doesn't buffer megabytes of HTML.
+type discardWriter struct {
+	header http.Header
+	code   int
+}
+
+func (w *discardWriter) Header() http.Header { return w.header }
+
+func (w *discardWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return len(b), nil
+}
+
+func (w *discardWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+}
+
+func (w *discardWriter) status() int {
+	if w.code == 0 {
+		return http.StatusOK
+	}
+	return w.code
+}
+
+// WriteJSON writes the report to path as indented JSON, the BENCH_*.json
+// artifact format.
+func (r *ServerReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -8,13 +8,19 @@ package website
 import (
 	"archive/zip"
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"html"
+	"io"
+	"log"
 	"net/http"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"thalia/internal/benchmark"
 	"thalia/internal/catalog"
@@ -23,6 +29,7 @@ import (
 	"thalia/internal/integration"
 	"thalia/internal/iwiz"
 	"thalia/internal/rewrite"
+	"thalia/internal/telemetry"
 	"thalia/internal/ufmw"
 )
 
@@ -30,12 +37,30 @@ import (
 type Site struct {
 	mu   sync.Mutex
 	roll benchmark.HonorRoll
+
+	metrics   *telemetry.Registry
+	tracer    *telemetry.Tracer
+	logger    *log.Logger
+	nextReqID atomic.Int64
+	started   time.Time
 }
 
-// New returns a site with an empty honor roll.
-func New() *Site { return &Site{} }
+// New returns a site with an empty honor roll, a fresh metrics registry
+// and tracer, and a discarded access log (use SetLogger to see it).
+func New() *Site {
+	return &Site{
+		metrics: telemetry.NewRegistry(),
+		tracer:  telemetry.NewTracer(0),
+		logger:  log.New(io.Discard, "", 0),
+		started: time.Now(),
+	}
+}
 
-// Handler returns the site's HTTP handler.
+// Handler returns the site's HTTP handler: the Figure 4 routes plus the
+// observability endpoints (/metrics, /healthz, /debug/traces), wrapped in
+// the middleware stack — request ID, access log, per-route metrics and
+// tracing, panic recovery (innermost, so a converted 500 is still counted
+// and logged).
 func (s *Site) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.home)
@@ -51,7 +76,63 @@ func (s *Site) Handler() http.Handler {
 	mux.HandleFunc("/scores", s.scores)
 	mux.HandleFunc("/run-benchmark", s.runBenchmark)
 	mux.HandleFunc("/honor-roll", s.honorRoll)
-	return mux
+	mux.HandleFunc("/metrics", s.metricsPage)
+	mux.HandleFunc("/healthz", s.healthz)
+	mux.HandleFunc("/debug/traces", s.debugTraces)
+	return chain(mux,
+		s.requestID(),
+		s.accessLog(),
+		s.httpMetrics(),
+		s.recoverPanics(),
+	)
+}
+
+// metricsPage serves the site registry: JSON by default, Prometheus text
+// exposition with ?format=prometheus.
+func (s *Site) metricsPage(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prometheus" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := s.metrics.WritePrometheus(w); err != nil {
+			s.logger.Printf("metrics: %v", err)
+		}
+		return
+	}
+	writeJSON(w, s.metrics.Snapshot())
+}
+
+// healthz is the liveness probe: process up, with uptime and runtime vitals.
+func (s *Site) healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.started).Seconds(),
+		"goroutines":     runtime.NumGoroutine(),
+	})
+}
+
+// debugTraces serves the tracer's ring buffer, newest first. ?n=K limits
+// the count (default 50).
+func (s *Site) debugTraces(w http.ResponseWriter, r *http.Request) {
+	n := 50
+	if v := r.URL.Query().Get("n"); v != "" {
+		k, err := strconv.Atoi(v)
+		if err != nil || k < 1 {
+			http.Error(w, "n must be a positive integer", http.StatusBadRequest)
+			return
+		}
+		n = k
+	}
+	traces := s.tracer.Recent(n)
+	if traces == nil {
+		traces = []*telemetry.Trace{}
+	}
+	writeJSON(w, map[string]any{"traces": traces})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
 }
 
 func writePage(w http.ResponseWriter, title, body string) {
@@ -371,7 +452,9 @@ System:
 		http.Error(w, "unknown system (cohera|iwiz|mediator|declarative)", http.StatusBadRequest)
 		return
 	}
-	card, err := benchmark.NewRunner().Evaluate(sys)
+	runner := benchmark.NewRunner()
+	runner.Telemetry = s.metrics // server-side runs feed the same /metrics registry
+	card, err := runner.Evaluate(sys)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
