@@ -13,7 +13,9 @@
 //	thalia solution <n>                sample solution for query n
 //	thalia xq '<query>'                run an XQuery against the testbed
 //	thalia bench [--system name]... [--parallel N] [--timeout D] [--telemetry]
+//	             [--profile dir] [--explain-dir dir]
 //	                                   evaluate systems (default: all)
+//	thalia explain <n> <system>        trace one query's evaluation
 //	thalia hetero                      the heterogeneity classification
 package main
 
@@ -22,6 +24,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -58,6 +62,8 @@ func run(args []string) error {
 		return xq(args[1:])
 	case "bench":
 		return bench(args[1:])
+	case "explain":
+		return explainCmd(args[1:])
 	case "export":
 		return export(args[1:])
 	case "validate":
@@ -87,8 +93,13 @@ Commands:
         [--parallel N]      (cohera|iwiz|mediator|declarative);
         [--timeout D]       N workers (default: one per CPU), per-query
         [--telemetry]       timeout D (e.g. 30s; default: none); --telemetry
-                            prints an engine metrics snapshot (per-query
-                            p50/p95/p99 latency, queue wait, errors)
+        [--profile DIR]     prints an engine metrics snapshot (per-query
+        [--explain-dir DIR] p50/p95/p99 latency, queue wait, errors);
+                            --profile writes cpu.pprof and heap.pprof to DIR;
+                            --explain-dir writes explain traces of failed
+                            cells to DIR as JSON
+  explain <n> <system>      trace one query's evaluation through a system:
+        [--json]            operator spans, row counts, provenance events
   export <dir>              write the whole testbed to disk (HTML, XML,
                             XSD, wrapper configs, queries, solutions)
   validate                  re-extract and validate every source
@@ -188,16 +199,22 @@ func xq(args []string) error {
 	return nil
 }
 
-func bench(args []string) error {
-	known := map[string]func() thalia.System{
+// knownSystems maps CLI system names to their constructors.
+func knownSystems() map[string]func() thalia.System {
+	return map[string]func() thalia.System{
 		"cohera":      thalia.NewCohera,
 		"iwiz":        thalia.NewIWIZ,
 		"mediator":    thalia.NewReferenceMediator,
 		"declarative": thalia.NewDeclarativeMediator,
 	}
+}
+
+func bench(args []string) error {
+	known := knownSystems()
 	runner := thalia.NewRunner()
 	var systems []thalia.System
 	var reg *telemetry.Registry
+	var profileDir, explainDir string
 	for i := 0; i < len(args); i++ {
 		switch args[i] {
 		case "--telemetry":
@@ -233,6 +250,19 @@ func bench(args []string) error {
 				return fmt.Errorf("bench: bad --timeout value %q (want e.g. 30s)", args[i])
 			}
 			runner.QueryTimeout = d
+		case "--profile":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("bench: --profile needs a directory")
+			}
+			profileDir = args[i]
+		case "--explain-dir":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("bench: --explain-dir needs a directory")
+			}
+			explainDir = args[i]
+			runner.ExplainFailures = true
 		default:
 			return fmt.Errorf("bench: unknown flag %q", args[i])
 		}
@@ -243,7 +273,18 @@ func bench(args []string) error {
 			thalia.NewReferenceMediator(), thalia.NewDeclarativeMediator(),
 		}
 	}
+	stopProfiles := func() error { return nil }
+	if profileDir != "" {
+		stop, err := startProfiles(profileDir)
+		if err != nil {
+			return err
+		}
+		stopProfiles = stop
+	}
 	cards, err := runner.EvaluateAllContext(context.Background(), systems...)
+	if perr := stopProfiles(); err == nil {
+		err = perr
+	}
 	if err != nil {
 		return err
 	}
@@ -254,6 +295,117 @@ func bench(args []string) error {
 	if reg != nil {
 		fmt.Println(benchmark.FormatEngineMetrics(reg.Snapshot()))
 	}
+	if explainDir != "" {
+		n, err := writeExplainTraces(explainDir, cards)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d explain trace(s) to %s\n", n, explainDir)
+	}
+	return nil
+}
+
+// startProfiles begins a CPU profile in dir and returns a stop function that
+// finishes it and writes a heap profile alongside (cpu.pprof, heap.pprof).
+func startProfiles(dir string) (func() error, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	cpu, err := os.Create(filepath.Join(dir, "cpu.pprof"))
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(cpu); err != nil {
+		cpu.Close()
+		return nil, err
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		if err := cpu.Close(); err != nil {
+			return err
+		}
+		heap, err := os.Create(filepath.Join(dir, "heap.pprof"))
+		if err != nil {
+			return err
+		}
+		defer heap.Close()
+		runtime.GC() // materialize up-to-date allocation stats
+		return pprof.WriteHeapProfile(heap)
+	}, nil
+}
+
+// writeExplainTraces dumps the explain trace of every failed cell to
+// dir/qNN-<system>.json and returns how many were written.
+func writeExplainTraces(dir string, cards []*benchmark.Scorecard) (int, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, card := range cards {
+		slug := strings.ToLower(strings.ReplaceAll(card.System, " ", "-"))
+		for _, res := range card.Results {
+			if res.Explain == nil || res.Explain.Empty() {
+				continue
+			}
+			raw, err := res.Explain.JSON()
+			if err != nil {
+				return n, err
+			}
+			name := fmt.Sprintf("q%02d-%s.json", res.QueryID, slug)
+			if err := os.WriteFile(filepath.Join(dir, name), raw, 0o644); err != nil {
+				return n, err
+			}
+			n++
+		}
+	}
+	return n, nil
+}
+
+// explainCmd traces one query's evaluation through one system and prints the
+// trace: indented text plan by default, JSON with --json.
+func explainCmd(args []string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("explain: usage: thalia explain <query 1-12> <system> [--json]")
+	}
+	id, err := strconv.Atoi(strings.TrimPrefix(args[0], "q"))
+	if err != nil || id < 1 || id > 12 {
+		return fmt.Errorf("explain: bad query %q (want 1-12)", args[0])
+	}
+	mk, ok := knownSystems()[args[1]]
+	if !ok {
+		return fmt.Errorf("explain: unknown system %q (cohera|iwiz|mediator|declarative)", args[1])
+	}
+	asJSON := false
+	for _, a := range args[2:] {
+		if a != "--json" {
+			return fmt.Errorf("explain: unknown flag %q", a)
+		}
+		asJSON = true
+	}
+	runner := thalia.NewRunner()
+	res, tr, err := runner.Explain(context.Background(), mk(), id)
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		raw, err := tr.JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(raw))
+		return nil
+	}
+	fmt.Print(tr.Text())
+	status := "declined"
+	switch {
+	case res.Correct:
+		status = "correct"
+	case res.Err != "":
+		status = "error: " + res.Err
+	case res.Supported:
+		status = "INCORRECT"
+	}
+	fmt.Printf("%s\nresult: %s\n", tr.Digest(), status)
 	return nil
 }
 

@@ -21,6 +21,9 @@ func TestRunCommands(t *testing.T) {
 		{"hetero"},
 		{"help"},
 		{"bench", "--system", "iwiz"},
+		{"explain", "3", "cohera"},
+		{"explain", "q8", "iwiz"},
+		{"explain", "1", "declarative", "--json"},
 	}
 	for _, args := range ok {
 		if err := run(args); err != nil {
@@ -44,6 +47,13 @@ func TestRunErrors(t *testing.T) {
 		{"bench", "--oops"},
 		{"bench", "--system"},
 		{"bench", "--system", "ghost"},
+		{"bench", "--profile"},
+		{"bench", "--explain-dir"},
+		{"explain"},
+		{"explain", "3"},
+		{"explain", "13", "cohera"},
+		{"explain", "3", "ghost"},
+		{"explain", "3", "cohera", "--oops"},
 	}
 	for _, args := range bad {
 		if err := run(args); err == nil {
@@ -103,6 +113,29 @@ func TestExportAndValidate(t *testing.T) {
 	}
 	if err := run([]string{"export"}); err == nil {
 		t.Error("export without directory should error")
+	}
+}
+
+func TestBenchProfileAndExplainDir(t *testing.T) {
+	dir := t.TempDir()
+	prof := filepath.Join(dir, "prof")
+	traces := filepath.Join(dir, "traces")
+	if err := run([]string{"bench", "--system", "cohera", "--profile", prof, "--explain-dir", traces}); err != nil {
+		t.Fatalf("bench: %v", err)
+	}
+	for _, rel := range []string{"cpu.pprof", "heap.pprof"} {
+		if fi, err := os.Stat(filepath.Join(prof, rel)); err != nil || fi.Size() == 0 {
+			t.Errorf("missing or empty profile %s: %v", rel, err)
+		}
+	}
+	// Cohera declines queries 4, 5 and 8: exactly those cells fail and get
+	// trace files.
+	names, err := filepath.Glob(filepath.Join(traces, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 3 {
+		t.Errorf("explain-dir holds %d traces (%v), want 3", len(names), names)
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"thalia"
+	"thalia/internal/explain"
 	"thalia/internal/xmldom"
 	"thalia/internal/xquery"
 )
@@ -26,15 +27,16 @@ func main() {
 	file := flag.String("f", "", "read the query from a file")
 	testbed := flag.Bool("testbed", false, "resolve doc() URIs against the built-in testbed")
 	xmlOut := flag.Bool("xml", false, "print element results as XML instead of text values")
+	explainTrace := flag.Bool("explain", false, "print an operator trace of the evaluation to stderr")
 	flag.Parse()
 
-	if err := run(*file, *testbed, *xmlOut, flag.Args()); err != nil {
+	if err := run(*file, *testbed, *xmlOut, *explainTrace, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "xq:", err)
 		os.Exit(1)
 	}
 }
 
-func run(file string, testbed, xmlOut bool, args []string) error {
+func run(file string, testbed, xmlOut, explainTrace bool, args []string) error {
 	var query string
 	switch {
 	case file != "":
@@ -46,7 +48,7 @@ func run(file string, testbed, xmlOut bool, args []string) error {
 	case len(args) > 0:
 		query = strings.Join(args, " ")
 	default:
-		return fmt.Errorf("usage: xq [-testbed] [-xml] '<query>' (or -f query.xq)")
+		return fmt.Errorf("usage: xq [-testbed] [-xml] [-explain] '<query>' (or -f query.xq)")
 	}
 
 	var ctx *xquery.Context
@@ -62,7 +64,15 @@ func run(file string, testbed, xmlOut bool, args []string) error {
 			return xmldom.Parse(f)
 		})
 	}
+	var rec *explain.Recorder
+	if explainTrace {
+		rec = explain.NewRecorder()
+		ctx.Explain = rec
+	}
 	seq, err := xquery.EvalQuery(query, ctx)
+	if rec != nil {
+		fmt.Fprint(os.Stderr, rec.Trace().Text())
+	}
 	if err != nil {
 		var pe *xquery.ParseError
 		if errors.As(err, &pe) && file != "" {

@@ -193,6 +193,36 @@ func TestGoAnalyzersRepoClean(t *testing.T) {
 	}
 }
 
+// TestExplainKindsDetectsDeadVocabulary proves the analyzer can actually
+// fail: with only the explain package in scope there are no instrumentation
+// sites, so every Kind constant must be reported as unemitted. The count
+// also pins the size of the trace vocabulary — adding a Kind without an
+// emitter breaks TestGoAnalyzersRepoClean, adding one with an emitter
+// updates this number.
+func TestExplainKindsDetectsDeadVocabulary(t *testing.T) {
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := LoadGoPackages(root, "./internal/explain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := ExplainKinds().Run(pkgs)
+	const wantKinds = 15
+	if len(findings) != wantKinds {
+		t.Errorf("got %d findings, want %d (one per Kind constant)", len(findings), wantKinds)
+	}
+	for _, f := range findings {
+		if f.Check != "explainkinds" || !strings.Contains(f.Message, "no instrumentation site emits it") {
+			t.Errorf("malformed finding: %s", f)
+		}
+		if !strings.HasPrefix(f.File, "internal/explain/") || f.Line == 0 {
+			t.Errorf("finding lacks a declaration position: %s", f)
+		}
+	}
+}
+
 // TestLoadGoPackagesPositions: findings must be reported with repo-relative
 // paths, which requires the loader to record the module root.
 func TestLoadGoPackagesPositions(t *testing.T) {

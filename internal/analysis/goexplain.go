@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"fmt"
+	"go/types"
+	"sort"
+)
+
+// explainPath is the import path of the explain package whose Kind
+// vocabulary the analyzer audits.
+const explainPath = "thalia/internal/explain"
+
+// ExplainKinds returns the analyzer that keeps the explain vocabulary
+// honest: every exported explain.Kind constant must be referenced by at
+// least one instrumentation site outside the explain package itself. A
+// kind nobody emits is a dead word in the trace language — readers grep
+// for it, dashboards filter on it, and nothing ever produces it — so the
+// analyzer reports it at its declaration.
+func ExplainKinds() *GoAnalyzer {
+	return &GoAnalyzer{
+		Name: "explainkinds",
+		Doc:  "every explain.Kind constant is emitted by at least one instrumentation site",
+		Run:  runExplainKinds,
+	}
+}
+
+func runExplainKinds(pkgs []*GoPackage) []Finding {
+	var decl *GoPackage
+	for _, p := range pkgs {
+		if p.ImportPath == explainPath {
+			decl = p
+			break
+		}
+	}
+	if decl == nil {
+		// The explain package is outside the analysis scope; there is
+		// nothing to audit.
+		return nil
+	}
+
+	// Collect the exported constants of the named type explain.Kind.
+	kinds := map[*types.Const]bool{}
+	scope := decl.Types.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !c.Exported() {
+			continue
+		}
+		named, ok := c.Type().(*types.Named)
+		if ok && named.Obj().Name() == "Kind" && named.Obj().Pkg() != nil &&
+			named.Obj().Pkg().Path() == explainPath {
+			kinds[c] = false
+		}
+	}
+
+	// A use anywhere outside the declaring package marks the kind live.
+	for _, p := range pkgs {
+		if p.ImportPath == explainPath {
+			continue
+		}
+		for _, obj := range p.Info.Uses {
+			c, ok := obj.(*types.Const)
+			if !ok {
+				continue
+			}
+			// The importer materializes its own *types.Const for each
+			// dependency constant, so match by package path and name
+			// rather than object identity.
+			if c.Pkg() != nil && c.Pkg().Path() == explainPath {
+				for k := range kinds {
+					if k.Name() == c.Name() {
+						kinds[k] = true
+					}
+				}
+			}
+		}
+	}
+
+	var dead []*types.Const
+	for k, used := range kinds {
+		if !used {
+			dead = append(dead, k)
+		}
+	}
+	sort.Slice(dead, func(i, j int) bool { return dead[i].Name() < dead[j].Name() })
+	var out []Finding
+	for _, k := range dead {
+		file, line, col := decl.Position(k.Pos())
+		out = append(out, Finding{Check: "explainkinds", File: file, Line: line, Column: col,
+			Message: fmt.Sprintf("explain.%s is declared but no instrumentation site emits it", k.Name())})
+	}
+	return out
+}

@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"time"
 
+	"thalia/internal/explain"
 	"thalia/internal/integration"
 )
 
@@ -121,8 +122,29 @@ feed:
 // evalCell evaluates one query against one system and scores it. Every
 // failure mode — a broken expected answer, a system error, a timeout —
 // degrades to a per-query error result, so one bad cell cannot sink a
-// multi-system run.
+// multi-system run. With ExplainFailures on, failed cells (declined,
+// errored or incorrect) keep their explain trace.
 func (r *Runner) evalCell(ctx context.Context, sys integration.System, q *Query) QueryResult {
+	if !r.ExplainFailures {
+		return r.evalCellRec(ctx, sys, q, nil)
+	}
+	rec := explain.NewRecorder()
+	res := r.evalCellRec(ctx, sys, q, rec)
+	if res.Err != "" || !res.Correct {
+		res.Explain = rec.Trace()
+	} else {
+		// Seal a passing cell's recorder so a timeout-abandoned goroutine
+		// stops accumulating spans nobody will read.
+		rec.Seal()
+	}
+	return res
+}
+
+// evalCellRec is evalCell's core. A non-nil rec wraps the evaluation in a
+// root eval span, threads the recorder to the system through the request
+// context, and measures the Answer latency into EvalNanos; a nil rec takes
+// the original zero-overhead path.
+func (r *Runner) evalCellRec(ctx context.Context, sys integration.System, q *Query, rec *explain.Recorder) QueryResult {
 	res := QueryResult{QueryID: q.ID}
 	if err := ctx.Err(); err != nil {
 		res.Err = err.Error()
@@ -133,7 +155,21 @@ func (r *Runner) evalCell(ctx context.Context, sys integration.System, q *Query)
 		res.Err = fmt.Sprintf("expected answer: %v", err)
 		return res
 	}
-	ans, err := r.answer(ctx, sys, q.Request())
+	req := q.Request()
+	var root *explain.Span
+	var start time.Time
+	if rec != nil {
+		root = rec.Begin(explain.KindEval,
+			fmt.Sprintf("q%02d %s", q.ID, sys.Name()),
+			explain.A("hetero", q.Case.Name()))
+		req = req.WithContext(explain.NewContext(ctx, rec))
+		start = time.Now()
+	}
+	ans, err := r.answer(ctx, sys, req)
+	if rec != nil {
+		res.EvalNanos = time.Since(start).Nanoseconds()
+		root.End()
+	}
 	switch {
 	case errors.Is(err, integration.ErrUnsupported):
 		// Declined: no point, no complexity charge.
@@ -148,6 +184,23 @@ func (r *Runner) evalCell(ctx context.Context, sys integration.System, q *Query)
 		res.Correct = len(res.Missing) == 0 && len(res.Extra) == 0
 	}
 	return res
+}
+
+// Explain evaluates a single query against a single system with an explain
+// recorder attached and returns the scored result together with its trace,
+// regardless of outcome — the engine behind `thalia explain` and the
+// website's /debug/explain endpoint.
+func (r *Runner) Explain(ctx context.Context, sys integration.System, queryID int) (QueryResult, *explain.Trace, error) {
+	for _, q := range r.Queries {
+		if q.ID == queryID {
+			rec := explain.NewRecorder()
+			res := r.evalCellRec(ctx, sys, q, rec)
+			tr := rec.Trace()
+			res.Explain = tr
+			return res, tr, nil
+		}
+	}
+	return QueryResult{}, nil, fmt.Errorf("benchmark: no query %d in this runner", queryID)
 }
 
 // answer invokes sys.Answer, bounding it by the runner's per-query timeout

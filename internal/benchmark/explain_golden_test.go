@@ -1,0 +1,57 @@
+package benchmark
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"thalia/internal/catalog"
+	"thalia/internal/explain"
+	"thalia/internal/xquery"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden explain outlines")
+
+// TestExplainGoldenOutlines pins the operator tree the evaluator reports
+// for each heterogeneity query against the reference schema. The golden
+// files hold Outline() renderings — structure and row counts, no
+// durations — so the trees are stable across machines; a change here means
+// the evaluator's plan for a benchmark query changed, which should be a
+// deliberate act (rerun with -update).
+func TestExplainGoldenOutlines(t *testing.T) {
+	resolve := catalog.Resolver()
+	for _, q := range Queries() {
+		q := q
+		t.Run(fmt.Sprintf("q%02d", q.ID), func(t *testing.T) {
+			rec := explain.NewRecorder()
+			ctx := xquery.NewContext(resolve)
+			ctx.Explain = rec
+			root := rec.Begin(explain.KindEval, fmt.Sprintf("q%02d %s", q.ID, q.Case.Name()))
+			_, err := xquery.EvalQuery(q.XQuery, ctx)
+			root.End()
+			if err != nil {
+				t.Fatalf("evaluate: %v", err)
+			}
+			got := rec.Trace().Outline()
+			path := filepath.Join("testdata", "explain", fmt.Sprintf("q%02d.golden", q.ID))
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run go test ./internal/benchmark -run ExplainGolden -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("operator tree drifted from %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+			}
+		})
+	}
+}

@@ -29,6 +29,11 @@ type Runner struct {
 	// worker-pool utilization. Metrics observe the evaluation from the
 	// outside; scorecards are byte-identical with or without it.
 	Telemetry *telemetry.Registry
+	// ExplainFailures, when set, attaches an explain.Recorder to every cell
+	// and keeps the trace (QueryResult.Explain) for cells that fail —
+	// declined, errored or incorrect. Like Telemetry, it observes without
+	// perturbing: rendered scorecards are byte-identical either way.
+	ExplainFailures bool
 }
 
 // NewRunner returns a runner over all twelve queries.

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"thalia/internal/explain"
 	"thalia/internal/hetero"
 	"thalia/internal/integration"
 )
@@ -27,6 +28,12 @@ type QueryResult struct {
 	Extra   []integration.Row
 	// Err records an evaluation failure other than ErrUnsupported.
 	Err string
+	// Explain is the cell's explain trace, populated only when the runner's
+	// ExplainFailures mode is on and the cell failed (or by Runner.Explain).
+	// EvalNanos is the measured Answer latency for the same recording; both
+	// stay out of Format so scorecards are unchanged by recording.
+	Explain   *explain.Trace
+	EvalNanos int64
 }
 
 // Complexity is the query's contribution to the complexity score: the sum

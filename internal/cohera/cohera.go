@@ -27,6 +27,7 @@ import (
 	"sync"
 
 	"thalia/internal/catalog"
+	"thalia/internal/explain"
 	"thalia/internal/integration"
 	"thalia/internal/mapping"
 	"thalia/internal/minidb"
@@ -342,12 +343,34 @@ func rows(res *minidb.Result, source string, fields ...string) []integration.Row
 // Answer implements integration.System with the paper's projected per-query
 // behaviour.
 func (s *System) Answer(req integration.Request) (*integration.Answer, error) {
+	// The answer span opens before build() so a cold first call attributes
+	// the one-time testbed shredding to this cell's trace.
+	rec := explain.FromContext(req.Context())
+	if rec != nil {
+		sp := rec.Begin(explain.KindAnswer, "Cohera.Answer")
+		defer sp.End()
+	}
 	s.build()
 	if s.err != nil {
 		return nil, s.err
 	}
 	db := s.db
 	q := func(sql string) (*minidb.Result, error) { return db.Query(sql) }
+	if rec != nil {
+		inner := q
+		q = func(sql string) (*minidb.Result, error) {
+			ssp := rec.Begin(explain.KindSQL, sql)
+			for _, view := range mappingViews(sql) {
+				rec.Event(explain.KindMapping, "view "+view)
+			}
+			res, err := inner(sql)
+			if err == nil {
+				ssp.SetRows(-1, len(res.Rows))
+			}
+			ssp.End()
+			return res, err
+		}
+	}
 
 	switch req.QueryID {
 	case 1: // renaming columns: supportable by the local-to-global mapping.
@@ -396,6 +419,9 @@ func (s *System) Answer(req integration.Request) (*integration.Answer, error) {
 		// "No easy way to deal with this, without large amounts of custom
 		// code." For query 8 specifically: Postgres has exactly one NULL,
 		// so missing-vs-inapplicable cannot be expressed.
+		if rec != nil {
+			rec.Event(explain.KindDecline, "no easy way without large amounts of custom code")
+		}
 		return nil, integration.ErrUnsupported
 
 	case 6: // nulls: Postgres had direct support for nulls.
@@ -489,4 +515,21 @@ func (s *System) Answer(req integration.Request) (*integration.Answer, error) {
 		}, nil
 	}
 	return nil, fmt.Errorf("cohera: unknown benchmark query %d", req.QueryID)
+}
+
+// mappingViews extracts the local-to-global mapping views (g_* identifiers)
+// referenced by a federated SQL statement, for explain provenance. Only
+// called when an explain recorder is attached.
+func mappingViews(sql string) []string {
+	var views []string
+	seen := map[string]bool{}
+	for _, f := range strings.FieldsFunc(sql, func(r rune) bool {
+		return !(r == '_' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9')
+	}) {
+		if strings.HasPrefix(f, "g_") && !seen[f] {
+			seen[f] = true
+			views = append(views, f)
+		}
+	}
+	return views
 }

@@ -1,0 +1,78 @@
+package explain
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Text renders the trace as an indented query plan with durations, row
+// counts and attributes — the human-facing `thalia explain` output.
+func (t *Trace) Text() string {
+	if t.Empty() {
+		return "(empty trace)\n"
+	}
+	var b strings.Builder
+	if t.TraceID != "" {
+		fmt.Fprintf(&b, "trace %s\n", t.TraceID)
+	}
+	writeNode(&b, t.Root, 0, true)
+	return b.String()
+}
+
+// Outline renders the trace's structure only: kinds, names, row counts and
+// attributes, but no durations. Two evaluations of the same query produce
+// the same outline, which is what the golden explain-trace tests assert.
+func (t *Trace) Outline() string {
+	if t.Empty() {
+		return "(empty trace)\n"
+	}
+	var b strings.Builder
+	writeNode(&b, t.Root, 0, false)
+	return b.String()
+}
+
+func writeNode(b *strings.Builder, n *Node, depth int, durations bool) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+	if n.Event {
+		fmt.Fprintf(b, "* %s: %s", n.Kind, n.Name)
+	} else {
+		fmt.Fprintf(b, "%s: %s", n.Kind, n.Name)
+	}
+	if n.HasRows {
+		if n.RowsIn >= 0 {
+			fmt.Fprintf(b, "  [in=%d out=%d]", n.RowsIn, n.RowsOut)
+		} else {
+			fmt.Fprintf(b, "  [out=%d]", n.RowsOut)
+		}
+	}
+	for _, a := range n.Attrs {
+		fmt.Fprintf(b, "  %s=%s", a.Key, a.Value)
+	}
+	if durations && !n.Event {
+		fmt.Fprintf(b, "  (%s)", time.Duration(n.DurationNS).Round(time.Microsecond))
+	}
+	b.WriteByte('\n')
+	for _, c := range n.Children {
+		writeNode(b, c, depth+1, durations)
+	}
+}
+
+// JSON renders the trace as indented JSON.
+func (t *Trace) JSON() ([]byte, error) {
+	return json.MarshalIndent(t, "", "  ")
+}
+
+// Digest renders a compact one-line summary: root name, node counts, and
+// total duration — scannable in logs and CI output.
+func (t *Trace) Digest() string {
+	if t.Empty() {
+		return "explain: (empty trace)"
+	}
+	d := time.Duration(t.Root.DurationNS).Round(time.Microsecond)
+	return fmt.Sprintf("explain: %s [%s] spans=%d events=%d dur=%s",
+		t.Root.Name, t.Root.Kind, t.Spans, t.Events, d)
+}

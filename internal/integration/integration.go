@@ -5,6 +5,7 @@
 package integration
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -76,6 +77,28 @@ type Request struct {
 	// Reference and Challenge are the two testbed source names involved.
 	Reference string
 	Challenge string
+
+	// ctx carries per-call values — today the optional explain.Recorder —
+	// through the legacy Answer signature, following the http.Request
+	// Context/WithContext idiom. Systems model legacy engines, so the
+	// context does not cancel them; the benchmark engine handles timeouts
+	// from the outside.
+	ctx context.Context
+}
+
+// Context returns the request's context, never nil: it defaults to
+// context.Background().
+func (r Request) Context() context.Context {
+	if r.ctx != nil {
+		return r.ctx
+	}
+	return context.Background()
+}
+
+// WithContext returns a copy of the request carrying ctx.
+func (r Request) WithContext(ctx context.Context) Request {
+	r.ctx = ctx
+	return r
 }
 
 // FunctionUse records one external/user-defined function a system needed.

@@ -16,10 +16,12 @@ package iwiz
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 
 	"thalia/internal/catalog"
+	"thalia/internal/explain"
 	"thalia/internal/integration"
 	"thalia/internal/mapping"
 	"thalia/internal/xmldom"
@@ -372,9 +374,28 @@ func collect(cs []*xmldom.Element, source string, keep func(*xmldom.Element) boo
 // Answer implements integration.System with the paper's projected per-query
 // behaviour: nine queries via the warehouse, three declined.
 func (s *System) Answer(req integration.Request) (*integration.Answer, error) {
+	// The answer span opens before build() so a cold first call attributes
+	// the one-time warehouse materialization to this cell's trace.
+	rec := explain.FromContext(req.Context())
+	var sp *explain.Span
+	if rec != nil {
+		sp = rec.Begin(explain.KindAnswer, "IWIZ.Answer")
+		defer sp.End()
+	}
 	s.build()
 	if s.err != nil {
 		return nil, s.err
+	}
+	courses := s.courses
+	if rec != nil {
+		courses = func(src string) ([]*xmldom.Element, error) {
+			cs, err := s.courses(src)
+			if err == nil {
+				rec.Event(explain.KindWarehouse, "warehouse "+src,
+					explain.A("courses", strconv.Itoa(len(cs))))
+			}
+			return cs, err
+		}
 	}
 	titleHas := func(sub string) func(*xmldom.Element) bool {
 		return func(c *xmldom.Element) bool {
@@ -385,7 +406,11 @@ func (s *System) Answer(req integration.Request) (*integration.Answer, error) {
 		a := &integration.Answer{Rows: rows, Effort: effort}
 		if fn != "" {
 			a.Functions = []integration.FunctionUse{{Name: fn, Complexity: cx}}
+			if rec != nil {
+				rec.Event(explain.KindTransform, fn, explain.A("complexity", strconv.Itoa(cx)))
+			}
 		}
+		sp.SetRows(-1, len(rows))
 		return a
 	}
 
@@ -393,7 +418,7 @@ func (s *System) Answer(req integration.Request) (*integration.Answer, error) {
 	case 1: // renaming: the wrapper specs map Instructor/Lecturer to one name.
 		var rows []integration.Row
 		for _, src := range []string{"gatech", "cmu"} {
-			cs, err := s.courses(src)
+			cs, err := courses(src)
 			if err != nil {
 				return nil, err
 			}
@@ -412,7 +437,7 @@ func (s *System) Answer(req integration.Request) (*integration.Answer, error) {
 	case 2: // clock: the wrapper canonicalized times at build time.
 		var rows []integration.Row
 		for _, src := range []string{"cmu", "umass"} {
-			cs, err := s.courses(src)
+			cs, err := courses(src)
 			if err != nil {
 				return nil, err
 			}
@@ -431,7 +456,7 @@ func (s *System) Answer(req integration.Request) (*integration.Answer, error) {
 	case 3: // union types: the brown wrapper flattened link+string titles.
 		var rows []integration.Row
 		for _, src := range []string{"umd", "brown"} {
-			cs, err := s.courses(src)
+			cs, err := courses(src)
 			if err != nil {
 				return nil, err
 			}
@@ -443,13 +468,16 @@ func (s *System) Answer(req integration.Request) (*integration.Answer, error) {
 	case 4, 5, 8:
 		// The 4GL cannot express the credit-semantics mapping, the language
 		// translation, or dual NULLs: "no easy way to deal with this."
+		if rec != nil {
+			rec.Event(explain.KindDecline, "4GL cannot express the required mapping")
+		}
 		return nil, integration.ErrUnsupported
 
 	case 6: // nulls: no direct support — the wrapper's textbook-status
 		// convention (moderate custom code) marks missing values.
 		var rows []integration.Row
 		for _, src := range []string{"toronto", "cmu"} {
-			cs, err := s.courses(src)
+			cs, err := courses(src)
 			if err != nil {
 				return nil, err
 			}
@@ -471,7 +499,7 @@ func (s *System) Answer(req integration.Request) (*integration.Answer, error) {
 	case 7: // virtual columns: the cmu wrapper inferred Prerequisite.
 		var rows []integration.Row
 		for _, src := range []string{"umich", "cmu"} {
-			cs, err := s.courses(src)
+			cs, err := courses(src)
 			if err != nil {
 				return nil, err
 			}
@@ -487,13 +515,13 @@ func (s *System) Answer(req integration.Request) (*integration.Answer, error) {
 
 	case 9: // structure: the umd wrapper hoisted rooms to the course level.
 		var rows []integration.Row
-		bs, err := s.courses("brown")
+		bs, err := courses("brown")
 		if err != nil {
 			return nil, err
 		}
 		rows = append(rows, collect(bs, "brown", titleHas("Software Engineering"),
 			map[string]string{"course": "Number", "room": "Room"}, "", "")...)
-		us, err := s.courses("umd")
+		us, err := courses("umd")
 		if err != nil {
 			return nil, err
 		}
@@ -512,7 +540,7 @@ func (s *System) Answer(req integration.Request) (*integration.Answer, error) {
 	case 10: // sets: both wrappers normalized to repeated Instructor elements.
 		var rows []integration.Row
 		for _, src := range []string{"cmu", "umd"} {
-			cs, err := s.courses(src)
+			cs, err := courses(src)
 			if err != nil {
 				return nil, err
 			}
@@ -524,7 +552,7 @@ func (s *System) Answer(req integration.Request) (*integration.Answer, error) {
 	case 11: // names without semantics: the ucsd wrapper renamed term columns.
 		var rows []integration.Row
 		for _, src := range []string{"cmu", "ucsd"} {
-			cs, err := s.courses(src)
+			cs, err := courses(src)
 			if err != nil {
 				return nil, err
 			}
@@ -547,7 +575,7 @@ func (s *System) Answer(req integration.Request) (*integration.Answer, error) {
 	case 12: // composition: the brown wrapper decomposed title/day/time.
 		var rows []integration.Row
 		for _, src := range []string{"cmu", "brown"} {
-			cs, err := s.courses(src)
+			cs, err := courses(src)
 			if err != nil {
 				return nil, err
 			}

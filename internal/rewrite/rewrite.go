@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"thalia/internal/catalog"
+	"thalia/internal/explain"
 	"thalia/internal/mapping"
 	"thalia/internal/xmldom"
 )
@@ -214,7 +215,7 @@ func (m *Mediator) ResetLedger() {
 // shared ledger (UsedTransforms); concurrent callers that need per-call
 // effort accounting should use AnswerUsage instead.
 func (m *Mediator) Answer(q GlobalQuery) ([]Row, error) {
-	rows, used, err := m.answerLedger(q)
+	rows, used, err := m.answerLedger(q, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -231,15 +232,35 @@ func (m *Mediator) Answer(q GlobalQuery) ([]Row, error) {
 // not touch the shared ledger, so concurrent evaluations are fully
 // independent.
 func (m *Mediator) AnswerUsage(q GlobalQuery) ([]Row, map[string]int, error) {
-	rows, used, err := m.answerLedger(q)
+	return m.AnswerUsageRecorded(q, nil)
+}
+
+// AnswerUsageRecorded is AnswerUsage with explain instrumentation: per-source
+// mapping spans, a merge event, and one transform event per charged
+// transform are recorded into rec. A nil rec records nothing and takes the
+// same path as AnswerUsage.
+func (m *Mediator) AnswerUsageRecorded(q GlobalQuery, rec *explain.Recorder) ([]Row, map[string]int, error) {
+	rows, used, err := m.answerLedger(q, rec)
 	if err != nil {
 		return nil, nil, err
 	}
-	return rows, m.charged(used), nil
+	charged := m.charged(used)
+	if rec != nil {
+		names := make([]string, 0, len(charged))
+		for n := range charged {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			rec.Event(explain.KindTransform, n,
+				explain.A("complexity", strconv.Itoa(charged[n])))
+		}
+	}
+	return rows, charged, nil
 }
 
 // answerLedger runs the evaluation with a fresh call-local ledger.
-func (m *Mediator) answerLedger(q GlobalQuery) ([]Row, ledger, error) {
+func (m *Mediator) answerLedger(q GlobalQuery, rec *explain.Recorder) ([]Row, ledger, error) {
 	used := ledger{}
 	sources := q.Sources
 	if len(sources) == 0 {
@@ -254,11 +275,24 @@ func (m *Mediator) answerLedger(q GlobalQuery) ([]Row, ledger, error) {
 		if !ok {
 			return nil, nil, fmt.Errorf("rewrite: no mapping for source %q", name)
 		}
+		var ssp *explain.Span
+		if rec != nil {
+			ssp = rec.Begin(explain.KindMapping, "mapping "+name)
+			rec.Event(explain.KindDoc, name+".xml")
+		}
 		rows, err := m.answerSource(sm, q, used)
 		if err != nil {
 			return nil, nil, fmt.Errorf("rewrite: source %s: %w", name, err)
 		}
+		if ssp != nil {
+			ssp.SetRows(-1, len(rows))
+			ssp.End()
+		}
 		out = append(out, rows...)
+	}
+	if rec != nil {
+		rec.Event(explain.KindMerge,
+			fmt.Sprintf("%d sources -> %d rows", len(sources), len(out)))
 	}
 	return out, used, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"thalia/internal/explain"
 	"thalia/internal/integration"
 )
 
@@ -119,10 +120,17 @@ func (s *System) Answer(req integration.Request) (*integration.Answer, error) {
 	if !ok {
 		return nil, fmt.Errorf("rewrite: unknown benchmark query %d", req.QueryID)
 	}
-	rows, used, err := s.med.AnswerUsage(gq)
+	rec := explain.FromContext(req.Context())
+	var sp *explain.Span
+	if rec != nil {
+		sp = rec.Begin(explain.KindAnswer, "DeclarativeMediator.Answer")
+		defer sp.End()
+	}
+	rows, used, err := s.med.AnswerUsageRecorded(gq, rec)
 	if err != nil {
 		return nil, err
 	}
+	sp.SetRows(-1, len(rows))
 	out := make([]integration.Row, len(rows))
 	for i, r := range rows {
 		out[i] = integration.Row(r)

@@ -268,6 +268,11 @@ func (h *Histogram) Quantile(q float64) float64 {
 	if total == 0 {
 		return 0
 	}
+	if total == 1 {
+		// One observation: every quantile is that sole value. Interpolating
+		// inside its bucket would report a position the value never had.
+		return h.Sum()
+	}
 	target := q * float64(total)
 	cum := float64(0)
 	for i, c := range counts {

@@ -94,8 +94,13 @@ func TestHistogramQuantiles(t *testing.T) {
 		{"one per bucket", []float64{5, 15, 25, 35}, 0.5, 20},
 		// q=1 lands at the top of the last occupied bucket.
 		{"max", []float64{5, 15}, 1, 20},
+		// A single observation reports the sole observed value at every q,
+		// not an interpolated bucket position.
+		{"single observation", []float64{15}, 0, 15},
+		{"single observation median", []float64{15}, 0.5, 15},
+		{"single observation max", []float64{15}, 1, 15},
 		// q=0 with data interpolates to the bottom of the first occupied bucket.
-		{"min", []float64{15}, 0, 10},
+		{"min", []float64{5, 15}, 0, 0},
 		// Values beyond the last bound report the last finite bound.
 		{"overflow clamps", []float64{100, 200, 300}, 0.99, 40},
 		// 100 observations in bucket (10,20]: p95 → rank 95 → 10 + 0.95*10.

@@ -24,13 +24,31 @@ type Tracer struct {
 	filled int
 }
 
-// NewTracer returns a tracer keeping the DefaultTraceCapacity most recent
-// traces. capacity <= 0 falls back to the default.
-func NewTracer(capacity int) *Tracer {
-	if capacity <= 0 {
-		capacity = DefaultTraceCapacity
+// TracerOption configures a Tracer at construction.
+type TracerOption func(*tracerConfig)
+
+type tracerConfig struct {
+	capacity int
+}
+
+// WithCapacity sets the trace ring-buffer size. Values <= 0 are ignored and
+// the tracer keeps DefaultTraceCapacity traces.
+func WithCapacity(n int) TracerOption {
+	return func(c *tracerConfig) {
+		if n > 0 {
+			c.capacity = n
+		}
 	}
-	return &Tracer{ring: make([]*Trace, capacity)}
+}
+
+// NewTracer returns a tracer keeping the most recent completed traces —
+// DefaultTraceCapacity of them unless overridden with WithCapacity.
+func NewTracer(opts ...TracerOption) *Tracer {
+	cfg := tracerConfig{capacity: DefaultTraceCapacity}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return &Tracer{ring: make([]*Trace, cfg.capacity)}
 }
 
 // Trace is one completed request/operation: a root span plus any child

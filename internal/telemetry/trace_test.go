@@ -7,7 +7,7 @@ import (
 )
 
 func TestTraceSpansAndParentLinks(t *testing.T) {
-	tr := NewTracer(8)
+	tr := NewTracer(WithCapacity(8))
 	root := tr.Start("GET /catalogs", L("route", "/catalogs"))
 	child := root.Child("render")
 	grand := child.Child("encode")
@@ -49,7 +49,7 @@ func TestTraceSpansAndParentLinks(t *testing.T) {
 }
 
 func TestTraceRingBufferEviction(t *testing.T) {
-	tr := NewTracer(3)
+	tr := NewTracer(WithCapacity(3))
 	for i := 1; i <= 5; i++ {
 		s := tr.Start(fmt.Sprintf("op%d", i))
 		s.End()
@@ -70,7 +70,7 @@ func TestTraceRingBufferEviction(t *testing.T) {
 }
 
 func TestTraceLateChildDropped(t *testing.T) {
-	tr := NewTracer(4)
+	tr := NewTracer(WithCapacity(4))
 	root := tr.Start("req")
 	child := root.Child("slow")
 	root.End()
@@ -82,7 +82,7 @@ func TestTraceLateChildDropped(t *testing.T) {
 }
 
 func TestTracerConcurrent(t *testing.T) {
-	tr := NewTracer(16)
+	tr := NewTracer(WithCapacity(16))
 	var wg sync.WaitGroup
 	for g := 0; g < 16; g++ {
 		wg.Add(1)

@@ -8,9 +8,11 @@ package ufmw
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"thalia/internal/catalog"
+	"thalia/internal/explain"
 	"thalia/internal/integration"
 	"thalia/internal/mapping"
 	"thalia/internal/xmldom"
@@ -66,6 +68,31 @@ func (m *Mediator) use(names ...string) ([]integration.FunctionUse, error) {
 
 // Answer implements integration.System.
 func (m *Mediator) Answer(req integration.Request) (*integration.Answer, error) {
+	rec := explain.FromContext(req.Context())
+	if rec == nil {
+		return m.answer(req)
+	}
+	sp := rec.Begin(explain.KindAnswer, "UFMW.Answer")
+	defer sp.End()
+	for _, src := range []string{req.Reference, req.Challenge} {
+		if src != "" {
+			rec.Event(explain.KindDoc, src+".xml")
+		}
+	}
+	ans, err := m.answer(req)
+	if err != nil {
+		return nil, err
+	}
+	for _, fn := range ans.Functions {
+		rec.Event(explain.KindTransform, fn.Name,
+			explain.A("complexity", strconv.Itoa(fn.Complexity)))
+	}
+	sp.SetRows(-1, len(ans.Rows))
+	return ans, nil
+}
+
+// answer dispatches to the per-query resolution procedures.
+func (m *Mediator) answer(req integration.Request) (*integration.Answer, error) {
 	switch req.QueryID {
 	case 1:
 		return m.q1()

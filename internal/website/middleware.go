@@ -71,7 +71,7 @@ func (w *statusWriter) status() int {
 func routeLabel(path string) string {
 	switch path {
 	case "/", "/catalogs", "/browse", "/queries", "/scores", "/run-benchmark",
-		"/honor-roll", "/metrics", "/healthz", "/debug/traces",
+		"/honor-roll", "/metrics", "/healthz", "/debug/traces", "/debug/explain",
 		"/download/catalogs.zip", "/download/benchmark.zip", "/download/solutions.zip":
 		return path
 	}
@@ -123,6 +123,11 @@ func (s *Site) httpMetrics() middleware {
 			inFlight := s.metrics.Gauge(MetricHTTPInFlight)
 			inFlight.Inc()
 			span := s.tracer.Start(r.Method+" "+route, telemetry.L("path", r.URL.Path))
+			// The telemetry trace ID travels both ways: clients see it on
+			// the response, downstream handlers (/debug/explain) read it
+			// from the request to link explain traces to this span.
+			w.Header().Set("X-Trace-ID", span.TraceID())
+			r.Header.Set("X-Trace-ID", span.TraceID())
 			sw := &statusWriter{ResponseWriter: w}
 			start := time.Now()
 			next.ServeHTTP(sw, r)

@@ -205,6 +205,49 @@ func TestDebugTraces(t *testing.T) {
 	}
 }
 
+func TestDebugExplain(t *testing.T) {
+	h := New().Handler()
+	rec, body := get(t, h, "/debug/explain?query=q3&system=cohera")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("explain: %d\n%s", rec.Code, body)
+	}
+	var v struct {
+		Query     int    `json:"query"`
+		System    string `json:"system"`
+		Supported bool   `json:"supported"`
+		Digest    string `json:"digest"`
+		Trace     struct {
+			TraceID string `json:"trace_id"`
+			Spans   int    `json:"spans"`
+		} `json:"trace"`
+	}
+	if err := json.Unmarshal([]byte(body), &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Query != 3 || v.System != "Cohera" || !v.Supported || v.Trace.Spans == 0 {
+		t.Errorf("unexpected explain payload: %+v", v)
+	}
+	// The explain trace links to the telemetry span: its trace ID is the
+	// X-Trace-ID the metrics middleware stamped on this very response.
+	if id := rec.Header().Get("X-Trace-ID"); id == "" || v.Trace.TraceID != id {
+		t.Errorf("trace_id %q does not match X-Trace-ID %q", v.Trace.TraceID, id)
+	}
+
+	if rec, body := get(t, h, "/debug/explain?query=4&system=iwiz&format=text"); rec.Code != http.StatusOK ||
+		!strings.Contains(body, "decline: 4GL cannot express the required mapping") {
+		t.Errorf("text format: %d\n%s", rec.Code, body)
+	}
+	for _, bad := range []string{
+		"/debug/explain",
+		"/debug/explain?query=q13&system=cohera",
+		"/debug/explain?query=q3&system=ghost",
+	} {
+		if rec, _ := get(t, h, bad); rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: %d, want 400", bad, rec.Code)
+		}
+	}
+}
+
 func TestMeasureServer(t *testing.T) {
 	rep, err := MeasureServer(4, 14) // 2 round-robin laps over the 7 routes
 	if err != nil {

@@ -50,7 +50,7 @@ type Site struct {
 func New() *Site {
 	return &Site{
 		metrics: telemetry.NewRegistry(),
-		tracer:  telemetry.NewTracer(0),
+		tracer:  telemetry.NewTracer(),
 		logger:  log.New(io.Discard, "", 0),
 		started: time.Now(),
 	}
@@ -79,6 +79,7 @@ func (s *Site) Handler() http.Handler {
 	mux.HandleFunc("/metrics", s.metricsPage)
 	mux.HandleFunc("/healthz", s.healthz)
 	mux.HandleFunc("/debug/traces", s.debugTraces)
+	mux.HandleFunc("/debug/explain", s.debugExplain)
 	return chain(mux,
 		s.requestID(),
 		s.accessLog(),
@@ -126,6 +127,56 @@ func (s *Site) debugTraces(w http.ResponseWriter, r *http.Request) {
 		traces = []*telemetry.Trace{}
 	}
 	writeJSON(w, map[string]any{"traces": traces})
+}
+
+// debugExplain evaluates one query×system cell with an explain recorder
+// attached and serves the operator/provenance trace: JSON by default,
+// indented text plan with ?format=text. The trace carries the request's
+// telemetry trace ID (the X-Trace-ID header stamped by the metrics
+// middleware), so an explain trace can be correlated with /debug/traces.
+func (s *Site) debugExplain(w http.ResponseWriter, r *http.Request) {
+	qid, err := parseQueryID(r.URL.Query().Get("query"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	sys, ok := systemByName(r.URL.Query().Get("system"))
+	if !ok {
+		http.Error(w, "unknown system (cohera|iwiz|mediator|declarative)", http.StatusBadRequest)
+		return
+	}
+	runner := benchmark.NewRunner()
+	res, tr, err := runner.Explain(r.Context(), sys, qid)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if id := r.Header.Get("X-Trace-ID"); id != "" {
+		tr.TraceID = id
+	}
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, tr.Text())
+		return
+	}
+	writeJSON(w, map[string]any{
+		"query":     res.QueryID,
+		"system":    sys.Name(),
+		"supported": res.Supported,
+		"correct":   res.Correct,
+		"digest":    tr.Digest(),
+		"trace":     tr,
+	})
+}
+
+// parseQueryID accepts a benchmark query identifier as "q3" or "3".
+func parseQueryID(v string) (int, error) {
+	v = strings.TrimPrefix(strings.TrimSpace(v), "q")
+	id, err := strconv.Atoi(v)
+	if err != nil || id < 1 || id > 12 {
+		return 0, fmt.Errorf("query must be q1..q12")
+	}
+	return id, nil
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -438,17 +489,8 @@ System:
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	var sys integration.System
-	switch r.Form.Get("system") {
-	case "cohera":
-		sys = cohera.New()
-	case "iwiz":
-		sys = iwiz.New()
-	case "mediator":
-		sys = ufmw.New()
-	case "declarative":
-		sys = rewrite.NewSystem()
-	default:
+	sys, ok := systemByName(r.Form.Get("system"))
+	if !ok {
 		http.Error(w, "unknown system (cohera|iwiz|mediator|declarative)", http.StatusBadRequest)
 		return
 	}
@@ -464,6 +506,22 @@ System:
 	s.mu.Unlock()
 	writePage(w, "Benchmark Result", "<h2>Benchmark Result</h2><pre>"+html.EscapeString(card.Format())+"</pre>"+
 		`<p><a href="/honor-roll">Honor Roll</a></p>`)
+}
+
+// systemByName constructs one of the built-in integration systems from its
+// form/query-string name.
+func systemByName(name string) (integration.System, bool) {
+	switch name {
+	case "cohera":
+		return cohera.New(), true
+	case "iwiz":
+		return iwiz.New(), true
+	case "mediator":
+		return ufmw.New(), true
+	case "declarative":
+		return rewrite.NewSystem(), true
+	}
+	return nil, false
 }
 
 func (s *Site) honorRoll(w http.ResponseWriter, r *http.Request) {

@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"strings"
 
+	"thalia/internal/explain"
 	"thalia/internal/xmldom"
 )
 
@@ -43,6 +44,13 @@ type ExternalFunc struct {
 type Context struct {
 	// Resolve implements the doc() function; nil makes doc() an error.
 	Resolve DocResolver
+
+	// Explain, when non-nil, receives operator-level spans (FLWOR clauses,
+	// path steps, function calls, constructors — with rows in/out) and
+	// document/transform provenance events. Every instrumentation site is
+	// guarded by a nil check, so the nil default adds no allocations to
+	// evaluation — the explain package's zero-overhead contract.
+	Explain *explain.Recorder
 
 	vars     map[string]Sequence
 	external map[string]*ExternalFunc
@@ -102,7 +110,7 @@ func (e *env) lookup(name string) (Sequence, bool) {
 
 // Eval evaluates a parsed expression in the given context.
 func Eval(expr Expr, ctx *Context) (Sequence, error) {
-	ev := &evaluator{ctx: ctx}
+	ev := &evaluator{ctx: ctx, rec: ctx.Explain}
 	return ev.eval(expr, nil)
 }
 
@@ -117,6 +125,8 @@ func EvalQuery(src string, ctx *Context) (Sequence, error) {
 
 type evaluator struct {
 	ctx *Context
+	// rec mirrors ctx.Explain; nil on the hot zero-overhead path.
+	rec *explain.Recorder
 }
 
 func (ev *evaluator) lookupVar(name string, en *env) (Sequence, error) {
@@ -368,6 +378,10 @@ func arith(op string, l, r Sequence) (Sequence, error) {
 }
 
 func (ev *evaluator) evalPath(e *PathExpr, en *env) (Sequence, error) {
+	var sp *explain.Span
+	if ev.rec != nil {
+		sp = ev.rec.Begin(explain.KindPath, pathName(e))
+	}
 	var cur Sequence
 	if e.Root != nil {
 		s, err := ev.eval(e.Root, en)
@@ -384,11 +398,23 @@ func (ev *evaluator) evalPath(e *PathExpr, en *env) (Sequence, error) {
 		}
 	}
 	for _, st := range e.Steps {
+		var ssp *explain.Span
+		if ev.rec != nil {
+			ssp = ev.rec.Begin(explain.KindStep, stepName(st))
+		}
 		next, err := ev.step(cur, st, en)
 		if err != nil {
 			return nil, err
 		}
+		if ssp != nil {
+			ssp.SetRows(len(cur), len(next))
+			ssp.End()
+		}
 		cur = next
+	}
+	if sp != nil {
+		sp.SetRows(-1, len(cur))
+		sp.End()
 	}
 	return cur, nil
 }
@@ -479,8 +505,17 @@ func (ev *evaluator) evalFLWOR(f *FLWOR, en *env) (Sequence, error) {
 		en  *env
 		key Sequence
 	}
+	var sp *explain.Span
+	if ev.rec != nil {
+		sp = ev.rec.Begin(explain.KindFLWOR, "flwor")
+		defer sp.End()
+	}
 	tuples := []*env{en}
 	for _, fb := range f.Fors {
+		var csp *explain.Span
+		if ev.rec != nil {
+			csp = ev.rec.Begin(explain.KindClause, "for $"+fb.Var)
+		}
 		var next []*env
 		for _, t := range tuples {
 			seq, err := ev.eval(fb.In, t)
@@ -491,9 +526,17 @@ func (ev *evaluator) evalFLWOR(f *FLWOR, en *env) (Sequence, error) {
 				next = append(next, t.bind(fb.Var, Sequence{item}))
 			}
 		}
+		if csp != nil {
+			csp.SetRows(len(tuples), len(next))
+			csp.End()
+		}
 		tuples = next
 	}
 	for _, lb := range f.Lets {
+		var csp *explain.Span
+		if ev.rec != nil {
+			csp = ev.rec.Begin(explain.KindClause, "let $"+lb.Var)
+		}
 		var next []*env
 		for _, t := range tuples {
 			val, err := ev.eval(lb.Val, t)
@@ -502,9 +545,17 @@ func (ev *evaluator) evalFLWOR(f *FLWOR, en *env) (Sequence, error) {
 			}
 			next = append(next, t.bind(lb.Var, val))
 		}
+		if csp != nil {
+			csp.SetRows(len(tuples), len(next))
+			csp.End()
+		}
 		tuples = next
 	}
 	if f.Where != nil {
+		var csp *explain.Span
+		if ev.rec != nil {
+			csp = ev.rec.Begin(explain.KindClause, "where")
+		}
 		var kept []*env
 		for _, t := range tuples {
 			cond, err := ev.eval(f.Where, t)
@@ -515,9 +566,17 @@ func (ev *evaluator) evalFLWOR(f *FLWOR, en *env) (Sequence, error) {
 				kept = append(kept, t)
 			}
 		}
+		if csp != nil {
+			csp.SetRows(len(tuples), len(kept))
+			csp.End()
+		}
 		tuples = kept
 	}
 	if f.OrderBy != nil {
+		var csp *explain.Span
+		if ev.rec != nil {
+			csp = ev.rec.Begin(explain.KindClause, "order by")
+		}
 		keyed := make([]tuple, len(tuples))
 		for i, t := range tuples {
 			k, err := ev.eval(f.OrderBy.Key, t)
@@ -536,6 +595,14 @@ func (ev *evaluator) evalFLWOR(f *FLWOR, en *env) (Sequence, error) {
 		for i := range keyed {
 			tuples[i] = keyed[i].en
 		}
+		if csp != nil {
+			csp.SetRows(len(tuples), len(tuples))
+			csp.End()
+		}
+	}
+	var rsp *explain.Span
+	if ev.rec != nil {
+		rsp = ev.rec.Begin(explain.KindClause, "return")
 	}
 	var out Sequence
 	for _, t := range tuples {
@@ -544,6 +611,10 @@ func (ev *evaluator) evalFLWOR(f *FLWOR, en *env) (Sequence, error) {
 			return nil, err
 		}
 		out = append(out, s...)
+	}
+	if rsp != nil {
+		rsp.SetRows(len(tuples), len(out))
+		rsp.End()
 	}
 	return out, nil
 }
@@ -588,6 +659,10 @@ func (ev *evaluator) evalQuantified(q *Quantified, en *env) (Sequence, error) {
 // construct builds a new element from a direct constructor. Node content is
 // deep-copied, per XQuery's copy semantics.
 func (ev *evaluator) construct(c *ElemCtor, en *env) (*xmldom.Element, error) {
+	if ev.rec != nil {
+		sp := ev.rec.Begin(explain.KindConstruct, "<"+c.Name+">")
+		defer sp.End()
+	}
 	el := xmldom.NewElement(c.Name)
 	for _, a := range c.Attrs {
 		var b strings.Builder

@@ -1,0 +1,50 @@
+package xquery
+
+import "strings"
+
+// pathName renders a compact label for a path expression's root, used as the
+// explain span name: doc("uri") for a document call, $x for a variable, "."
+// for a relative path. Only called when an explain recorder is attached, so
+// the string work stays off the zero-overhead path.
+func pathName(e *PathExpr) string {
+	var b strings.Builder
+	switch root := e.Root.(type) {
+	case nil:
+		b.WriteString(".")
+	case *Call:
+		if root.Name == "doc" && len(root.Args) == 1 {
+			if lit, ok := root.Args[0].(*StringLit); ok {
+				b.WriteString(`doc("` + lit.Val + `")`)
+				break
+			}
+		}
+		b.WriteString(root.Name + "()")
+	case *VarRef:
+		b.WriteString("$" + root.Name)
+	default:
+		b.WriteString("(...)")
+	}
+	for _, st := range e.Steps {
+		b.WriteString(stepName(st))
+	}
+	return b.String()
+}
+
+// stepName renders one step as its path syntax: /Name, //Name or /@Name,
+// with [..] marking predicates.
+func stepName(st Step) string {
+	var prefix string
+	switch st.Axis {
+	case AxisDescendant:
+		prefix = "//"
+	case AxisAttribute:
+		prefix = "/@"
+	default:
+		prefix = "/"
+	}
+	name := prefix + st.Name
+	if len(st.Predicates) > 0 {
+		name += "[..]"
+	}
+	return name
+}

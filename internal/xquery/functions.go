@@ -1,8 +1,10 @@
 package xquery
 
 import (
+	"strconv"
 	"strings"
 
+	"thalia/internal/explain"
 	"thalia/internal/xmldom"
 )
 
@@ -10,6 +12,22 @@ import (
 // functions. External calls are tallied in ctx.Called so the benchmark can
 // account for the integration effort they represent.
 func (ev *evaluator) evalCall(c *Call, en *env) (Sequence, error) {
+	var sp *explain.Span
+	if ev.rec != nil {
+		sp = ev.rec.Begin(explain.KindCall, c.Name+"()")
+	}
+	out, err := ev.dispatchCall(c, en)
+	if err != nil {
+		return nil, err
+	}
+	if sp != nil {
+		sp.SetRows(-1, len(out))
+		sp.End()
+	}
+	return out, nil
+}
+
+func (ev *evaluator) dispatchCall(c *Call, en *env) (Sequence, error) {
 	args := make([]Sequence, len(c.Args))
 	for i, a := range c.Args {
 		s, err := ev.eval(a, en)
@@ -26,6 +44,10 @@ func (ev *evaluator) evalCall(c *Call, en *env) (Sequence, error) {
 	}
 	if ext, ok := ev.ctx.external[c.Name]; ok {
 		ev.ctx.Called[ext.Name]++
+		if ev.rec != nil {
+			ev.rec.Event(explain.KindTransform, ext.Name,
+				explain.A("complexity", strconv.Itoa(ext.Complexity)))
+		}
 		return ext.Fn(args)
 	}
 	return nil, dynErrf("unknown function %s()", c.Name)
@@ -62,6 +84,9 @@ func init() {
 			d, err := ev.ctx.Resolve(uri)
 			if err != nil {
 				return nil, dynErrf("doc(%q): %v", uri, err)
+			}
+			if ev.rec != nil {
+				ev.rec.Event(explain.KindDoc, uri)
 			}
 			return Sequence{d}, nil
 		}},
