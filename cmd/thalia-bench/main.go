@@ -2,17 +2,21 @@
 // on their results.
 //
 //	thalia-bench engine  [-out BENCH_engine.json] [-runs 3] [-pool N]
+//	thalia-bench chaos   [-out BENCH_chaos.json] [-runs 3] [-pool N] [-seed 1]
 //	thalia-bench server  [-out BENCH_server.json] [-clients 8] [-requests 50]
 //	thalia-bench compare -baseline BENCH_engine.json -fresh fresh.json
 //	                     [-tolerance 0.30] [-slowdown 1.0]
 //
 // engine times benchmark.MeasureEngine (sequential vs parallel EvaluateAll
-// over the four built-in systems); server drives website.MeasureServer (N
-// concurrent clients replaying the catalog/schema/query routes). compare
-// reads two artifacts of the same suite and fails (exit 1) if the fresh
-// run regressed beyond the tolerance: engine ns/op per configuration,
-// server p95 per route. -slowdown multiplies the fresh numbers first — an
-// injected regression that proves the gate actually trips.
+// over the four built-in systems); chaos times benchmark.MeasureChaos (the
+// same evaluation under a seeded standard-mix fault plan with the default
+// resilience policy — the cost of retries, backoff, and breaker accounting);
+// server drives website.MeasureServer (N concurrent clients replaying the
+// catalog/schema/query routes). compare reads two artifacts of the same
+// suite and fails (exit 1) if the fresh run regressed beyond the tolerance:
+// engine/chaos ns/op per configuration, server p95 per route. -slowdown
+// multiplies the fresh numbers first — an injected regression that proves
+// the gate actually trips.
 package main
 
 import (
@@ -41,17 +45,19 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("need a subcommand: engine | server | compare")
+		return fmt.Errorf("need a subcommand: engine | chaos | server | compare")
 	}
 	switch args[0] {
 	case "engine":
 		return engineCmd(args[1:], out)
+	case "chaos":
+		return chaosCmd(args[1:], out)
 	case "server":
 		return serverCmd(args[1:], out)
 	case "compare":
 		return compareCmd(args[1:], out)
 	default:
-		return fmt.Errorf("unknown subcommand %q (engine | server | compare)", args[0])
+		return fmt.Errorf("unknown subcommand %q (engine | chaos | server | compare)", args[0])
 	}
 }
 
@@ -78,6 +84,29 @@ func engineCmd(args []string, out io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(out, "engine: %d configs, speedup %.2fx, wrote %s\n", len(rep.Timings), rep.Speedup, *path)
+	return nil
+}
+
+func chaosCmd(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("chaos", flag.ContinueOnError)
+	path := fs.String("out", "BENCH_chaos.json", "artifact path")
+	runs := fs.Int("runs", 3, "EvaluateAll executions per configuration")
+	pool := fs.Int("pool", runtime.GOMAXPROCS(0), "parallel pool size to measure")
+	seed := fs.Int64("seed", 1, "fault plan and jitter seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *pool < 2 {
+		*pool = 2
+	}
+	rep, err := benchmark.MeasureChaos(*runs, []int{*pool}, *seed, systems()...)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(*path); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "chaos: %d configs, speedup %.2fx, wrote %s\n", len(rep.Timings), rep.Speedup, *path)
 	return nil
 }
 
@@ -142,7 +171,7 @@ func compareCmd(args []string, out io.Writer) error {
 
 	var regressions []string
 	switch baseProbe.Suite {
-	case "benchmark_engine":
+	case "benchmark_engine", "benchmark_chaos":
 		regressions, err = compareEngine(baseRaw, freshRaw, *tolerance, *slowdown, out)
 	case "website_server":
 		regressions, err = compareServer(baseRaw, freshRaw, *tolerance, *slowdown, out)

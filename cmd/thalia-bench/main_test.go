@@ -47,6 +47,27 @@ func TestCompareEnginePassAndInjectedSlowdownFails(t *testing.T) {
 	}
 }
 
+// chaos writes a benchmark_chaos artifact that the engine comparer can
+// gate, and trips on an injected slowdown like the engine suite.
+func TestChaosCmdAndCompare(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "chaos.json")
+	var out strings.Builder
+	if err := run([]string{"chaos", "-out", base, "-runs", "1", "-pool", "2", "-seed", "1"}, &out); err != nil {
+		t.Fatalf("chaos: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "wrote "+base) {
+		t.Errorf("missing artifact notice:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"compare", "-baseline", base, "-fresh", base}, &out); err != nil {
+		t.Fatalf("identical chaos compare failed: %v\n%s", err, out.String())
+	}
+	if err := run([]string{"compare", "-baseline", base, "-fresh", base, "-slowdown", "2.0"}, &out); err == nil {
+		t.Fatal("2x chaos slowdown passed the gate")
+	}
+}
+
 func TestCompareServerSuite(t *testing.T) {
 	dir := t.TempDir()
 	base := filepath.Join(dir, "base.json")

@@ -12,8 +12,10 @@
 // The Go head type-checks the module with go/types and runs repo-specific
 // analyzers: determinism (no time.Now, math/rand, or order-leaking map
 // iteration in generator code), panicpath (no panic reachable from the
-// exported API), and errcheck (no silently discarded errors in benchmark
-// and integration code).
+// exported API), errcheck (no silently discarded errors in benchmark and
+// integration code), explainkinds (every explain.Kind constant is emitted
+// somewhere), and faultkinds (every faultline.Kind has an injection
+// dispatch site and a test exercising it).
 //
 // Usage:
 //

@@ -14,7 +14,10 @@
 //	thalia xq '<query>'                run an XQuery against the testbed
 //	thalia bench [--system name]... [--parallel N] [--timeout D] [--telemetry]
 //	             [--profile dir] [--explain-dir dir]
-//	                                   evaluate systems (default: all)
+//	             [--faults plan.json|standard] [--seed N] [--retries N]
+//	                                   evaluate systems (default: all),
+//	                                   optionally under injected faults with
+//	                                   retries, backoff and a circuit breaker
 //	thalia explain <n> <system>        trace one query's evaluation
 //	thalia hetero                      the heterogeneity classification
 package main
@@ -95,9 +98,15 @@ Commands:
         [--telemetry]       timeout D (e.g. 30s; default: none); --telemetry
         [--profile DIR]     prints an engine metrics snapshot (per-query
         [--explain-dir DIR] p50/p95/p99 latency, queue wait, errors);
-                            --profile writes cpu.pprof and heap.pprof to DIR;
-                            --explain-dir writes explain traces of failed
-                            cells to DIR as JSON
+        [--faults P]        --profile writes cpu.pprof and heap.pprof to DIR;
+        [--seed N]          --explain-dir writes explain traces of failed
+        [--retries N]       cells to DIR as JSON; --faults injects a JSON
+                            fault plan (or the "standard" chaos mix) and
+                            evaluates under the seeded resilience policy —
+                            bounded retries with jittered backoff and a
+                            per-system circuit breaker — printing per-cell
+                            attempt histories; --retries overrides the
+                            attempt budget
   explain <n> <system>      trace one query's evaluation through a system:
         [--json]            operator spans, row counts, provenance events
   export <dir>              write the whole testbed to disk (HTML, XML,
@@ -214,7 +223,9 @@ func bench(args []string) error {
 	runner := thalia.NewRunner()
 	var systems []thalia.System
 	var reg *telemetry.Registry
-	var profileDir, explainDir string
+	var profileDir, explainDir, faultsArg string
+	var seed int64 = 1
+	retries := 0
 	for i := 0; i < len(args); i++ {
 		switch args[i] {
 		case "--telemetry":
@@ -263,6 +274,32 @@ func bench(args []string) error {
 			}
 			explainDir = args[i]
 			runner.ExplainFailures = true
+		case "--faults":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("bench: --faults needs a plan file or \"standard\"")
+			}
+			faultsArg = args[i]
+		case "--seed":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("bench: --seed needs a value")
+			}
+			n, err := strconv.ParseInt(args[i], 10, 64)
+			if err != nil {
+				return fmt.Errorf("bench: bad --seed value %q (want an integer)", args[i])
+			}
+			seed = n
+		case "--retries":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("bench: --retries needs a value")
+			}
+			n, err := strconv.Atoi(args[i])
+			if err != nil || n < 1 {
+				return fmt.Errorf("bench: bad --retries value %q (want a positive integer)", args[i])
+			}
+			retries = n
 		default:
 			return fmt.Errorf("bench: unknown flag %q", args[i])
 		}
@@ -271,6 +308,34 @@ func bench(args []string) error {
 		systems = []thalia.System{
 			thalia.NewCohera(), thalia.NewIWIZ(),
 			thalia.NewReferenceMediator(), thalia.NewDeclarativeMediator(),
+		}
+	}
+	chaos := faultsArg != ""
+	if chaos {
+		var plan *thalia.FaultPlan
+		if faultsArg == "standard" {
+			plan = thalia.StandardFaultMix(seed)
+		} else {
+			data, err := os.ReadFile(faultsArg)
+			if err != nil {
+				return fmt.Errorf("bench: %w", err)
+			}
+			plan, err = thalia.ParseFaultPlan(data)
+			if err != nil {
+				return fmt.Errorf("bench: %s: %w", faultsArg, err)
+			}
+			if plan.Seed == 0 {
+				plan.Seed = seed
+			}
+		}
+		for i, sys := range systems {
+			systems[i] = thalia.WithFaults(sys, plan)
+		}
+	}
+	if chaos || retries > 0 {
+		runner.Resilience = thalia.DefaultResilience(seed)
+		if retries > 0 {
+			runner.Resilience.MaxAttempts = retries
 		}
 	}
 	stopProfiles := func() error { return nil }
@@ -291,6 +356,9 @@ func bench(args []string) error {
 	fmt.Println(thalia.Comparison(cards))
 	for _, card := range cards {
 		fmt.Println(card.Format())
+	}
+	if chaos || retries > 0 {
+		fmt.Println(thalia.FormatChaos(cards))
 	}
 	if reg != nil {
 		fmt.Println(benchmark.FormatEngineMetrics(reg.Snapshot()))

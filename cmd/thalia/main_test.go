@@ -49,6 +49,12 @@ func TestRunErrors(t *testing.T) {
 		{"bench", "--system", "ghost"},
 		{"bench", "--profile"},
 		{"bench", "--explain-dir"},
+		{"bench", "--faults"},
+		{"bench", "--faults", "no-such-plan.json"},
+		{"bench", "--seed"},
+		{"bench", "--seed", "pi"},
+		{"bench", "--retries"},
+		{"bench", "--retries", "0"},
 		{"explain"},
 		{"explain", "3"},
 		{"explain", "13", "cohera"},
@@ -136,6 +142,36 @@ func TestBenchProfileAndExplainDir(t *testing.T) {
 	}
 	if len(names) != 3 {
 		t.Errorf("explain-dir holds %d traces (%v), want 3", len(names), names)
+	}
+}
+
+// bench --faults evaluates under an injected fault plan: the standard mix
+// by name, or a JSON plan file; --retries alone enables the resilience
+// policy without faults.
+func TestBenchChaosFlags(t *testing.T) {
+	if err := run([]string{"bench", "--system", "iwiz", "--faults", "standard", "--seed", "7"}); err != nil {
+		t.Fatalf("bench --faults standard: %v", err)
+	}
+
+	plan := filepath.Join(t.TempDir(), "plan.json")
+	if err := os.WriteFile(plan, []byte(
+		`{"seed":3,"rules":[{"system":"IWIZ","attempt":1,"kind":"transient","probability":1}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"bench", "--system", "iwiz", "--faults", plan, "--retries", "2"}); err != nil {
+		t.Fatalf("bench --faults %s: %v", plan, err)
+	}
+
+	if err := run([]string{"bench", "--system", "iwiz", "--retries", "2"}); err != nil {
+		t.Fatalf("bench --retries without faults: %v", err)
+	}
+
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"seed":1,"rules":[{"kind":"gremlins"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"bench", "--system", "iwiz", "--faults", bad}); err == nil {
+		t.Fatal("invalid fault plan accepted")
 	}
 }
 

@@ -209,7 +209,7 @@ func TestExplainKindsDetectsDeadVocabulary(t *testing.T) {
 		t.Fatal(err)
 	}
 	findings := ExplainKinds().Run(pkgs)
-	const wantKinds = 15
+	const wantKinds = 17
 	if len(findings) != wantKinds {
 		t.Errorf("got %d findings, want %d (one per Kind constant)", len(findings), wantKinds)
 	}
@@ -219,6 +219,85 @@ func TestExplainKindsDetectsDeadVocabulary(t *testing.T) {
 		}
 		if !strings.HasPrefix(f.File, "internal/explain/") || f.Line == 0 {
 			t.Errorf("finding lacks a declaration position: %s", f)
+		}
+	}
+}
+
+// TestFaultKindsDetectsUnwiredKinds proves the faultkinds analyzer can
+// fail: a fixture Kind vocabulary where one constant is fully wired (a
+// switch case dispatches on it, a test names it), one has no dispatch site,
+// and one appears in no test.
+func TestFaultKindsDetectsUnwiredKinds(t *testing.T) {
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module fixture\n\ngo 1.24\n",
+		"chaos/chaos.go": `package chaos
+
+// Kind names one injectable fault.
+type Kind string
+
+const (
+	KindWired    Kind = "wired"    // dispatched and tested
+	KindNoSwitch Kind = "noswitch" // tested but never dispatched
+	KindNoTest   Kind = "notest"   // dispatched but never tested
+)
+
+// Apply dispatches two of the three kinds.
+func Apply(k Kind) string {
+	switch k {
+	case KindWired:
+		return "wired"
+	case KindNoTest:
+		return "untested"
+	}
+	return ""
+}
+`,
+		"chaos/chaos_test.go": `package chaos
+
+import "testing"
+
+func TestApply(t *testing.T) {
+	if Apply(KindWired) != "wired" {
+		t.Fail()
+	}
+	_ = KindNoSwitch
+}
+`,
+	}
+	for name, content := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pkgs, err := LoadGoPackages(dir, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := faultKindsFor("fixture/chaos").Run(pkgs)
+	want := []string{
+		"faultline.KindNoSwitch has no injection dispatch site",
+		"faultline.KindNoTest is exercised by no test",
+	}
+	if len(findings) != len(want) {
+		t.Fatalf("got %d findings, want %d:\n%v", len(findings), len(want), findings)
+	}
+	for i, w := range want {
+		if findings[i].Check != "faultkinds" || !strings.Contains(findings[i].Message, w) {
+			t.Errorf("finding %d = %s, want %q", i, findings[i], w)
+		}
+		if !strings.HasPrefix(findings[i].File, "chaos/") || findings[i].Line == 0 {
+			t.Errorf("finding lacks a declaration position: %s", findings[i])
+		}
+	}
+	// Nothing to report about the fully wired kind.
+	for _, f := range findings {
+		if strings.Contains(f.Message, "KindWired") {
+			t.Errorf("unexpected finding about KindWired: %s", f)
 		}
 	}
 }

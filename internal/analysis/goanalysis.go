@@ -19,7 +19,7 @@ type GoAnalyzer struct {
 
 // DefaultGoAnalyzers returns the Go head's standard analyzer set.
 func DefaultGoAnalyzers() []*GoAnalyzer {
-	return []*GoAnalyzer{Determinism(), PanicPath(), ErrCheck(), ExplainKinds()}
+	return []*GoAnalyzer{Determinism(), PanicPath(), ErrCheck(), ExplainKinds(), FaultKinds()}
 }
 
 // RunGoAnalyzers runs every analyzer over the packages and merges findings.

@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// faultlinePath is the import path of the fault-injection package whose
+// Kind vocabulary the analyzer audits.
+const faultlinePath = "thalia/internal/faultline"
+
+// FaultKinds returns the analyzer that keeps the chaos vocabulary honest:
+// every exported faultline.Kind constant must have an injection site — a
+// switch case in the faultline package that dispatches on it — and a test
+// that exercises it by name. A kind that validates but never injects is a
+// silent no-op in every fault plan that names it; a kind no test exercises
+// can rot without failing anything. (Validation deliberately goes through a
+// map literal, not a switch, so a case label is unambiguously a dispatch
+// site.)
+func FaultKinds() *GoAnalyzer { return faultKindsFor(faultlinePath) }
+
+// faultKindsFor audits the Kind vocabulary of the package at the given
+// import path — the seam the analyzer's own tests use to point it at a
+// fixture module.
+func faultKindsFor(path string) *GoAnalyzer {
+	return &GoAnalyzer{
+		Name: "faultkinds",
+		Doc:  "every faultline.Kind has an injection dispatch site and a test exercising it",
+		Run:  func(pkgs []*GoPackage) []Finding { return runFaultKinds(pkgs, path) },
+	}
+}
+
+func runFaultKinds(pkgs []*GoPackage, faultPath string) []Finding {
+	var decl *GoPackage
+	for _, p := range pkgs {
+		if p.ImportPath == faultPath {
+			decl = p
+			break
+		}
+	}
+	if decl == nil {
+		return nil // the faultline package is outside the analysis scope
+	}
+
+	// The exported constants of the named type faultline.Kind.
+	kinds := map[*types.Const]bool{}
+	scope := decl.Types.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !c.Exported() {
+			continue
+		}
+		named, ok := c.Type().(*types.Named)
+		if ok && named.Obj().Name() == "Kind" && named.Obj().Pkg() != nil &&
+			named.Obj().Pkg().Path() == faultPath {
+			kinds[c] = false
+		}
+	}
+	if len(kinds) == 0 {
+		return nil
+	}
+
+	// An injection site is a switch case label resolving to the constant,
+	// in the faultline package's own (non-test) files.
+	injected := map[string]bool{}
+	for _, f := range decl.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok {
+				return true
+			}
+			for _, stmt := range sw.Body.List {
+				cc, ok := stmt.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				for _, expr := range cc.List {
+					id, ok := ast.Unparen(expr).(*ast.Ident)
+					if !ok {
+						continue
+					}
+					if c, ok := decl.Info.Uses[id].(*types.Const); ok {
+						for k := range kinds {
+							if k.Name() == c.Name() {
+								injected[k.Name()] = true
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// A test exercises a kind when its constant name appears in a _test.go
+	// file of the declaring package. The loader only parses non-test files,
+	// so this is a textual scan of the package directory.
+	tested := map[string]bool{}
+	entries, err := os.ReadDir(decl.Dir)
+	if err == nil {
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), "_test.go") {
+				continue
+			}
+			src, err := os.ReadFile(filepath.Join(decl.Dir, e.Name()))
+			if err != nil {
+				continue
+			}
+			for k := range kinds {
+				if strings.Contains(string(src), k.Name()) {
+					tested[k.Name()] = true
+				}
+			}
+		}
+	}
+
+	var names []*types.Const
+	for k := range kinds {
+		names = append(names, k)
+	}
+	sort.Slice(names, func(i, j int) bool { return names[i].Name() < names[j].Name() })
+	var out []Finding
+	for _, k := range names {
+		file, line, col := decl.Position(k.Pos())
+		if !injected[k.Name()] {
+			out = append(out, Finding{Check: "faultkinds", File: file, Line: line, Column: col,
+				Message: fmt.Sprintf("faultline.%s has no injection dispatch site (no switch case consumes it)", k.Name())})
+		}
+		if !tested[k.Name()] {
+			out = append(out, Finding{Check: "faultkinds", File: file, Line: line, Column: col,
+				Message: fmt.Sprintf("faultline.%s is exercised by no test in its package", k.Name())})
+		}
+	}
+	return out
+}

@@ -8,7 +8,9 @@ import (
 	"time"
 
 	"thalia/internal/explain"
+	"thalia/internal/faultline"
 	"thalia/internal/integration"
+	"thalia/internal/telemetry"
 )
 
 // ErrQueryTimeout is recorded in a QueryResult when a system's Answer did
@@ -65,6 +67,35 @@ func (r *Runner) EvaluateAllContext(ctx context.Context, systems ...integration.
 		}
 	}
 
+	// With a circuit breaker in play, each system's cells must observe the
+	// breaker in query order — consecutive-failure counting is
+	// order-sensitive, and same-seed runs must see the same breaker
+	// trajectory regardless of worker scheduling. gates is a per-system
+	// ladder: gates[si][qi] opens once cell (si, qi-1) has completed, so a
+	// system's cells run sequentially while systems still run in parallel.
+	// This cannot deadlock: the feeder emits cells query-major on an
+	// unbuffered channel, so whenever a worker holds cell (si, qi) its
+	// predecessor (si, qi-1) is already held (or finished) by another
+	// worker, and the earliest incomplete cell per system is never blocked.
+	var breakers []*faultline.Breaker
+	var gates [][]chan struct{}
+	if r.Resilience != nil && r.Resilience.BreakerThreshold > 0 {
+		breakers = make([]*faultline.Breaker, len(systems))
+		gates = make([][]chan struct{}, len(systems))
+		for i := range systems {
+			breakers[i] = faultline.NewBreaker(r.Resilience.BreakerThreshold, r.Resilience.BreakerCooldown)
+			gates[i] = make([]chan struct{}, len(r.Queries)+1)
+			for j := range gates[i] {
+				gates[i][j] = make(chan struct{})
+			}
+			close(gates[i][0])
+		}
+	} else if r.Resilience != nil {
+		// No breaker: cells still retry, against a nil (always-closed)
+		// breaker, with no ordering constraint.
+		breakers = make([]*faultline.Breaker, len(systems))
+	}
+
 	cells := make(chan cell)
 	workers := r.concurrency()
 	if n := len(systems) * len(r.Queries); workers > n {
@@ -79,18 +110,34 @@ func (r *Runner) EvaluateAllContext(ctx context.Context, systems ...integration.
 		go func() {
 			defer func() { done <- struct{}{} }()
 			for c := range cells {
-				if tel == nil {
-					cards[c.sys].Results[c.query] = r.evalCell(ctx, systems[c.sys], r.Queries[c.query])
-					continue
+				if gates != nil {
+					select {
+					case <-gates[c.sys][c.query]:
+					case <-ctx.Done():
+						// The cell still runs (evalCell degrades it to a
+						// ctx-error result) and the successor gate still
+						// opens, so no sibling worker is left waiting.
+					}
 				}
-				tel.Histogram(MetricQueueWait).ObserveDuration(time.Since(c.enqueued))
-				busy := tel.Gauge(MetricBusyWorkers)
-				busy.Inc()
-				start := time.Now()
-				res := r.evalCell(ctx, systems[c.sys], r.Queries[c.query])
-				busy.Dec()
-				cards[c.sys].Results[c.query] = res
-				r.recordCell(systems[c.sys].Name(), r.Queries[c.query].ID, res, time.Since(start))
+				var br *faultline.Breaker
+				if breakers != nil {
+					br = breakers[c.sys]
+				}
+				if tel == nil {
+					cards[c.sys].Results[c.query] = r.evalCell(ctx, systems[c.sys], r.Queries[c.query], br)
+				} else {
+					tel.Histogram(MetricQueueWait).ObserveDuration(time.Since(c.enqueued))
+					busy := tel.Gauge(MetricBusyWorkers)
+					busy.Inc()
+					start := time.Now()
+					res := r.evalCell(ctx, systems[c.sys], r.Queries[c.query], br)
+					busy.Dec()
+					cards[c.sys].Results[c.query] = res
+					r.recordCell(systems[c.sys].Name(), r.Queries[c.query].ID, res, time.Since(start))
+				}
+				if gates != nil {
+					close(gates[c.sys][c.query+1])
+				}
 			}
 		}()
 	}
@@ -113,6 +160,16 @@ feed:
 	for w := 0; w < workers; w++ {
 		<-done
 	}
+	if tel != nil && breakers != nil {
+		for i, br := range breakers {
+			if br == nil {
+				continue
+			}
+			sys := telemetry.L("system", systems[i].Name())
+			tel.Gauge(MetricBreakerState, sys).Set(int64(br.State()))
+			tel.Gauge(MetricBreakerOpens, sys).Set(br.Opens())
+		}
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -124,12 +181,12 @@ feed:
 // degrades to a per-query error result, so one bad cell cannot sink a
 // multi-system run. With ExplainFailures on, failed cells (declined,
 // errored or incorrect) keep their explain trace.
-func (r *Runner) evalCell(ctx context.Context, sys integration.System, q *Query) QueryResult {
+func (r *Runner) evalCell(ctx context.Context, sys integration.System, q *Query, br *faultline.Breaker) QueryResult {
 	if !r.ExplainFailures {
-		return r.evalCellRec(ctx, sys, q, nil)
+		return r.evalCellRec(ctx, sys, q, nil, br)
 	}
 	rec := explain.NewRecorder()
-	res := r.evalCellRec(ctx, sys, q, rec)
+	res := r.evalCellRec(ctx, sys, q, rec, br)
 	if res.Err != "" || !res.Correct {
 		res.Explain = rec.Trace()
 	} else {
@@ -144,7 +201,7 @@ func (r *Runner) evalCell(ctx context.Context, sys integration.System, q *Query)
 // root eval span, threads the recorder to the system through the request
 // context, and measures the Answer latency into EvalNanos; a nil rec takes
 // the original zero-overhead path.
-func (r *Runner) evalCellRec(ctx context.Context, sys integration.System, q *Query, rec *explain.Recorder) QueryResult {
+func (r *Runner) evalCellRec(ctx context.Context, sys integration.System, q *Query, rec *explain.Recorder, br *faultline.Breaker) QueryResult {
 	res := QueryResult{QueryID: q.ID}
 	if err := ctx.Err(); err != nil {
 		res.Err = err.Error()
@@ -165,7 +222,22 @@ func (r *Runner) evalCellRec(ctx context.Context, sys integration.System, q *Que
 		req = req.WithContext(explain.NewContext(ctx, rec))
 		start = time.Now()
 	}
-	ans, err := r.answer(ctx, sys, req)
+	var ans *integration.Answer
+	if r.Resilience != nil {
+		var attempts []Attempt
+		ans, attempts, err = r.answerResilient(ctx, sys, req, rec, br)
+		res.Attempts = attempts
+		if err != nil && !errors.Is(err, integration.ErrUnsupported) && ctx.Err() == nil {
+			// Exhausted retries (or a permanent fault): the cell degrades
+			// to an error result instead of sinking the run.
+			res.Degraded = true
+			if r.Telemetry != nil {
+				r.Telemetry.Counter(MetricDegraded, telemetry.L("system", sys.Name())).Inc()
+			}
+		}
+	} else {
+		ans, err = r.answer(ctx, sys, req)
+	}
 	if rec != nil {
 		res.EvalNanos = time.Since(start).Nanoseconds()
 		root.End()
@@ -194,7 +266,11 @@ func (r *Runner) Explain(ctx context.Context, sys integration.System, queryID in
 	for _, q := range r.Queries {
 		if q.ID == queryID {
 			rec := explain.NewRecorder()
-			res := r.evalCellRec(ctx, sys, q, rec)
+			var br *faultline.Breaker
+			if r.Resilience != nil && r.Resilience.BreakerThreshold > 0 {
+				br = faultline.NewBreaker(r.Resilience.BreakerThreshold, r.Resilience.BreakerCooldown)
+			}
+			res := r.evalCellRec(ctx, sys, q, rec, br)
 			tr := rec.Trace()
 			res.Explain = tr
 			return res, tr, nil
@@ -208,7 +284,14 @@ func (r *Runner) Explain(ctx context.Context, sys integration.System, queryID in
 // engines), so a cell that overruns is abandoned: its goroutine finishes in
 // the background and its late result is dropped.
 func (r *Runner) answer(ctx context.Context, sys integration.System, req integration.Request) (*integration.Answer, error) {
-	if r.QueryTimeout <= 0 && ctx.Done() == nil {
+	return r.answerWithin(ctx, sys, req, r.QueryTimeout)
+}
+
+// answerWithin is answer's core with an explicit deadline: the resilience
+// loop passes its per-attempt timeout (never larger than QueryTimeout),
+// the plain path passes QueryTimeout itself.
+func (r *Runner) answerWithin(ctx context.Context, sys integration.System, req integration.Request, d time.Duration) (*integration.Answer, error) {
+	if d <= 0 && ctx.Done() == nil {
 		return sys.Answer(req)
 	}
 	type outcome struct {
@@ -221,8 +304,8 @@ func (r *Runner) answer(ctx context.Context, sys integration.System, req integra
 		ch <- outcome{ans, err}
 	}()
 	var timeout <-chan time.Time
-	if r.QueryTimeout > 0 {
-		t := time.NewTimer(r.QueryTimeout)
+	if d > 0 {
+		t := time.NewTimer(d)
 		defer t.Stop()
 		timeout = t.C
 	}
@@ -230,7 +313,7 @@ func (r *Runner) answer(ctx context.Context, sys integration.System, req integra
 	case out := <-ch:
 		return out.ans, out.err
 	case <-timeout:
-		return nil, fmt.Errorf("%w after %v (query %d)", ErrQueryTimeout, r.QueryTimeout, req.QueryID)
+		return nil, fmt.Errorf("%w after %v (query %d)", ErrQueryTimeout, d, req.QueryID)
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}

@@ -34,6 +34,14 @@ type Runner struct {
 	// declined, errored or incorrect. Like Telemetry, it observes without
 	// perturbing: rendered scorecards are byte-identical either way.
 	ExplainFailures bool
+	// Resilience, when non-nil, runs every cell through the retry /
+	// circuit-breaker / graceful-degradation policy and attaches attempt
+	// histories (QueryResult.Attempts). With a breaker enabled, each
+	// system's cells evaluate in query order (systems still run in
+	// parallel) so breaker trajectories — and therefore scorecards — are
+	// deterministic. A cell that exhausts its retries is marked Degraded;
+	// it never aborts the run.
+	Resilience *Resilience
 }
 
 // NewRunner returns a runner over all twelve queries.

@@ -34,6 +34,13 @@ type QueryResult struct {
 	// stay out of Format so scorecards are unchanged by recording.
 	Explain   *explain.Trace
 	EvalNanos int64
+	// Degraded marks a cell that exhausted its resilience-policy retries
+	// (or hit a permanent fault); Attempts is its attempt history. Both
+	// are populated only when the runner has a Resilience policy, and both
+	// stay out of Format — FormatChaos renders them — so plain scorecards
+	// are unchanged by the policy.
+	Degraded bool
+	Attempts []Attempt
 }
 
 // Complexity is the query's contribution to the complexity score: the sum

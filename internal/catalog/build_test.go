@@ -1,0 +1,95 @@
+package catalog
+
+import (
+	"strings"
+	"testing"
+
+	"thalia/internal/tess"
+)
+
+// flakySource clones gatech into an unregistered source whose wrapper
+// fails its first n calls — the fault a live catalog briefly serving a
+// broken page would produce.
+func flakySource(t *testing.T, failures int) (*Source, *int) {
+	t.Helper()
+	real, err := Get("gatech")
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	s := &Source{
+		Name:       "flaky",
+		University: real.University,
+		Courses:    real.Courses,
+		RenderHTML: real.RenderHTML,
+		Wrapper: func() *tess.Config {
+			calls++
+			if calls <= failures {
+				// A config with no rules fails tess compilation, the
+				// stand-in for a transiently broken extraction.
+				return &tess.Config{Source: "flaky"}
+			}
+			return real.Wrapper()
+		},
+	}
+	return s, &calls
+}
+
+// A transient extraction failure must not be cached: the failing Document
+// call reports it, the next call re-materializes and succeeds. The old
+// sync.Once pipeline cached the first error forever, which would have
+// poisoned every mediated system (ufmw, rewrite) reading the source.
+func TestMaterializeHealsAfterTransientFailure(t *testing.T) {
+	s, calls := flakySource(t, 1)
+
+	if _, err := s.Document(); err == nil {
+		t.Fatal("first Document succeeded, want transient extraction failure")
+	} else if !strings.Contains(err.Error(), "extract") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+
+	doc, err := s.Document()
+	if err != nil {
+		t.Fatalf("second Document still failing: %v (error was cached)", err)
+	}
+	if doc == nil || doc.Root == nil || len(doc.Root.ChildElements()) == 0 {
+		t.Fatal("healed document is empty")
+	}
+	sch, err := s.Schema()
+	if err != nil {
+		t.Fatalf("Schema after heal: %v", err)
+	}
+	if sch == nil {
+		t.Fatal("healed source has no schema")
+	}
+
+	// Success is cached: further calls reuse the materialized pipeline.
+	if _, err := s.Document(); err != nil {
+		t.Fatal(err)
+	}
+	if *calls != 2 {
+		t.Fatalf("wrapper ran %d times, want 2 (fail, heal, then cached)", *calls)
+	}
+}
+
+// Document and Schema publish together or not at all: while the pipeline
+// fails, neither artifact leaks, and the HTML page (which cannot fail)
+// stays available throughout.
+func TestMaterializeAllOrNothing(t *testing.T) {
+	s, _ := flakySource(t, 2)
+	if page := s.Page(); !strings.Contains(page, "<html>") {
+		t.Error("page unavailable during extraction outage")
+	}
+	if doc, err := s.Document(); err == nil || doc != nil {
+		t.Fatalf("Document during outage = (%v, %v), want (nil, error)", doc, err)
+	}
+	if sch, err := s.Schema(); err == nil || sch != nil {
+		t.Fatalf("Schema during outage = (%v, %v), want (nil, error)", sch, err)
+	}
+	if _, err := s.Document(); err != nil {
+		t.Fatalf("source did not heal after outage: %v", err)
+	}
+	if _, err := s.Schema(); err != nil {
+		t.Fatalf("schema missing after heal: %v", err)
+	}
+}

@@ -97,11 +97,11 @@ type Source struct {
 	// (instructor home pages), keyed by URL; used by deep extraction.
 	Linked map[string]string
 
-	once sync.Once
-	page string
-	doc  *xmldom.Document
-	sch  *xsd.Schema
-	err  error
+	mu    sync.Mutex
+	ready bool
+	page  string
+	doc   *xmldom.Document
+	sch   *xsd.Schema
 }
 
 // Fetch resolves a hyperlink against the source's cached linked pages; it
@@ -114,24 +114,38 @@ func (s *Source) Fetch(url string) (string, error) {
 	return page, nil
 }
 
-// Page returns the source's cached HTML snapshot.
+// Page returns the source's cached HTML snapshot. Rendering cannot fail,
+// so the page is available even when extraction or inference is not.
 func (s *Source) Page() string {
-	s.materialize()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pageLocked()
+}
+
+// pageLocked renders and caches the HTML snapshot. Caller holds s.mu.
+func (s *Source) pageLocked() string {
+	if s.page == "" {
+		s.page = s.RenderHTML(s)
+	}
 	return s.page
 }
 
 // Document returns the extracted XML document (the TESS output). The
 // document is shared; callers must not mutate it — Clone the root first.
 func (s *Source) Document() (*xmldom.Document, error) {
-	s.materialize()
-	return s.doc, s.err
+	if err := s.materialize(); err != nil {
+		return nil, err
+	}
+	return s.doc, nil
 }
 
 // Schema returns the XML Schema inferred from the extracted document, as
 // published alongside each catalog on the THALIA site.
 func (s *Source) Schema() (*xsd.Schema, error) {
-	s.materialize()
-	return s.sch, s.err
+	if err := s.materialize(); err != nil {
+		return nil, err
+	}
+	return s.sch, nil
 }
 
 // XML returns the extracted document serialized with indentation.
@@ -143,29 +157,38 @@ func (s *Source) XML() (string, error) {
 	return d.Encode(), nil
 }
 
-// materialize runs the render→extract→infer pipeline once. Page, Document,
-// Schema and XML are safe for concurrent use: the first caller (whichever
-// goroutine wins) materializes behind the sync.Once, every later caller —
-// including concurrent benchmark evaluations across systems — shares the
-// cached page, parsed document and inferred schema instead of
-// re-materializing. The shared document is read-only by contract.
-func (s *Source) materialize() {
-	s.once.Do(func() {
-		s.page = s.RenderHTML(s)
-		cfg := s.Wrapper()
-		doc, err := tess.Extract(cfg, s.page)
-		if err != nil {
-			s.err = fmt.Errorf("catalog %s: extract: %w", s.Name, err)
-			return
-		}
-		s.doc = doc
-		sch, err := xsd.Infer(s.Name, doc)
-		if err != nil {
-			s.err = fmt.Errorf("catalog %s: infer schema: %w", s.Name, err)
-			return
-		}
-		s.sch = sch
-	})
+// materialize runs the render→extract→infer pipeline, caching the result
+// only when the whole pipeline succeeded. Page, Document, Schema and XML
+// are safe for concurrent use: the first caller (whichever goroutine wins
+// the mutex) materializes, every later caller — including concurrent
+// benchmark evaluations across systems — shares the cached page, parsed
+// document and inferred schema instead of re-materializing. The shared
+// document is read-only by contract.
+//
+// Errors are returned but never cached, and the document and schema are
+// published together or not at all: a transiently failing wrapper (a
+// fault-injected extraction, say) fails the calls that hit it and heals on
+// the next one, instead of permanently poisoning the source or exposing a
+// document without its schema.
+func (s *Source) materialize() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ready {
+		return nil
+	}
+	page := s.pageLocked()
+	cfg := s.Wrapper()
+	doc, err := tess.Extract(cfg, page)
+	if err != nil {
+		return fmt.Errorf("catalog %s: extract: %w", s.Name, err)
+	}
+	sch, err := xsd.Infer(s.Name, doc)
+	if err != nil {
+		return fmt.Errorf("catalog %s: infer schema: %w", s.Name, err)
+	}
+	s.doc, s.sch = doc, sch
+	s.ready = true
+	return nil
 }
 
 // MaterializeAll warms the whole testbed concurrently: every source's

@@ -35,13 +35,21 @@ import (
 )
 
 // System is the Cohera model. It is safe for concurrent use: the testbed is
-// shredded into relations exactly once behind the sync.Once, queries only
+// shredded into relations exactly once behind the build mutex, queries only
 // read the shredded tables, and minidb's UDF-invocation tally is
 // mutex-protected inside the engine.
+//
+// The build is all-or-nothing: s.db is published only after shredding and
+// view creation fully succeed, and a build error is returned but never
+// cached — so a transient source failure (a fault-injected catalog, say)
+// fails that call alone instead of leaving a partially-shredded database
+// or a permanently poisoned system behind.
 type System struct {
-	once sync.Once
-	db   *minidb.DB
-	err  error
+	mu sync.Mutex
+	db *minidb.DB
+	// shred is a test seam for the regression suite's fail-once builds;
+	// nil means shredAll.
+	shred func(*minidb.DB) error
 }
 
 // New returns a Cohera instance over the built-in testbed.
@@ -57,22 +65,32 @@ func (s *System) Description() string {
 
 // DB exposes the underlying engine (for the ablation benchmarks).
 func (s *System) DB() (*minidb.DB, error) {
-	s.build()
-	return s.db, s.err
+	return s.build()
 }
 
 // build shreds the testbed sources Cohera federates into relations and
-// registers the mapping views and UDFs.
-func (s *System) build() {
-	s.once.Do(func() {
-		db := minidb.NewDB()
-		s.db = db
-		if s.err = shredAll(db); s.err != nil {
-			return
-		}
-		registerUDFs(db)
-		s.err = createViews(db)
-	})
+// registers the mapping views and UDFs. Only a fully built database is
+// cached; on error nothing is published and the next call rebuilds.
+func (s *System) build() (*minidb.DB, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.db != nil {
+		return s.db, nil
+	}
+	shred := s.shred
+	if shred == nil {
+		shred = shredAll
+	}
+	db := minidb.NewDB()
+	if err := shred(db); err != nil {
+		return nil, err
+	}
+	registerUDFs(db)
+	if err := createViews(db); err != nil {
+		return nil, err
+	}
+	s.db = db
+	return db, nil
 }
 
 // text wraps a trimmed string value, mapping "" to SQL NULL — the wrapper's
@@ -350,11 +368,10 @@ func (s *System) Answer(req integration.Request) (*integration.Answer, error) {
 		sp := rec.Begin(explain.KindAnswer, "Cohera.Answer")
 		defer sp.End()
 	}
-	s.build()
-	if s.err != nil {
-		return nil, s.err
+	db, err := s.build()
+	if err != nil {
+		return nil, err
 	}
-	db := s.db
 	q := func(sql string) (*minidb.Result, error) { return db.Query(sql) }
 	if rec != nil {
 		inner := q

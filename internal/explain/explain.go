@@ -65,6 +65,12 @@ const (
 	KindDecline Kind = "decline"
 	// KindMerge marks per-source result sets merged into the final answer.
 	KindMerge Kind = "merge"
+	// KindAttempt is one resilience-policy attempt of a benchmark cell:
+	// the retry loop opens one attempt span per Answer call.
+	KindAttempt Kind = "attempt"
+	// KindFault marks a deterministic fault injected by a faultline plan
+	// (added latency, transient/permanent error, truncation, slow drip).
+	KindFault Kind = "fault"
 )
 
 // Attr is one key=value annotation on a span or event.

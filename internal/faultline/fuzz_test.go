@@ -1,0 +1,54 @@
+package faultline
+
+import "testing"
+
+// FuzzParsePlan drives the fault-plan reader with arbitrary input. The
+// contract under test: ParsePlan never panics — malformed plans error out —
+// and any accepted plan survives Marshal → ParsePlan with the same
+// canonical rendering (so committed plan files are stable).
+func FuzzParsePlan(f *testing.F) {
+	seeds := []string{
+		`{"seed":42,"rules":[{"kind":"latency","probability":0.3,"latency_ms":2}]}`,
+		`{"seed":1,"rules":[{"system":"Cohera","query":11,"attempt":2,"kind":"permanent"}]}`,
+		`{"seed":-7,"rules":[{"kind":"truncate","fraction":0.6},{"kind":"drip","chunk":512,"latency_ms":1}]}`,
+		`{"seed":0}`,
+		`{"seed":1,"rules":[{"kind":"transient","probability":1}]}`,
+		`{"seed":1,"rules":[{"kind":"gremlins"}]}`,
+		`{"seed":1,"rules":[{"kind":"latency","surprise":true}]}`,
+		`{"seed":1,"rules":[{"kind":"truncate","fraction":1.5}]}`,
+		`{"seed":1} trailing`,
+		`[1,2,3]`,
+		`not json`,
+		``,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := ParsePlan([]byte(src))
+		if err != nil {
+			return // malformed plans must error, not panic
+		}
+		if p == nil {
+			t.Fatalf("ParsePlan(%q) returned nil plan and nil error", src)
+		}
+		out, err := p.Marshal()
+		if err != nil {
+			t.Fatalf("marshal of accepted plan failed: %v\ninput: %q", err, src)
+		}
+		p2, err := ParsePlan(out)
+		if err != nil {
+			t.Fatalf("re-parse of marshaled plan failed: %v\ninput:     %q\nmarshaled: %s", err, src, out)
+		}
+		out2, err := p2.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(out) != string(out2) {
+			t.Fatalf("marshal is not canonical\nfirst:  %s\nsecond: %s", out, out2)
+		}
+		// An accepted plan must also be safely matchable at any coordinate.
+		p.Match("Cohera", 1, 1)
+		p.Match("", 0, 0)
+	})
+}

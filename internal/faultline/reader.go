@@ -1,0 +1,75 @@
+package faultline
+
+import (
+	"bytes"
+	"io"
+	"time"
+)
+
+// bytesReader adapts a byte slice for json.Decoder without re-exporting the
+// bytes package type in the API surface.
+func bytesReader(data []byte) io.Reader { return bytes.NewReader(data) }
+
+// DripReader serves its payload in fixed-size chunks with a pause before
+// each one, modeling a legacy source that dribbles bytes over a slow link.
+// The data arrives intact — only late. A Chunk of 0 defaults to 256 bytes;
+// a zero Delay drips without pausing.
+type DripReader struct {
+	payload []byte
+	off     int
+	// Chunk is the maximum bytes served per Read call.
+	Chunk int
+	// Delay is the pause before each chunk.
+	Delay time.Duration
+	// sleep is a test seam; nil means time.Sleep.
+	sleep func(time.Duration)
+}
+
+// NewDripReader returns a DripReader over payload.
+func NewDripReader(payload []byte, chunk int, delay time.Duration) *DripReader {
+	if chunk <= 0 {
+		chunk = 256
+	}
+	return &DripReader{payload: payload, Chunk: chunk, Delay: delay}
+}
+
+// Read serves at most one chunk, pausing Delay first.
+func (d *DripReader) Read(p []byte) (int, error) {
+	if d.off >= len(d.payload) {
+		return 0, io.EOF
+	}
+	if d.Delay > 0 {
+		if d.sleep != nil {
+			d.sleep(d.Delay)
+		} else {
+			time.Sleep(d.Delay)
+		}
+	}
+	n := d.Chunk
+	if n > len(p) {
+		n = len(p)
+	}
+	if rest := len(d.payload) - d.off; n > rest {
+		n = rest
+	}
+	copy(p, d.payload[d.off:d.off+n])
+	d.off += n
+	return n, nil
+}
+
+// Truncate returns the kept prefix of data for a truncate fault: fraction
+// of the bytes, rounded down, at least one byte short of the whole so the
+// cut is always real. A fraction of 0 defaults to 0.5.
+func Truncate(data []byte, fraction float64) []byte {
+	if fraction <= 0 {
+		fraction = 0.5
+	}
+	n := int(float64(len(data)) * fraction)
+	if n >= len(data) {
+		n = len(data) - 1
+	}
+	if n < 0 {
+		n = 0
+	}
+	return data[:n]
+}

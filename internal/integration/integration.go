@@ -101,6 +101,47 @@ func (r Request) WithContext(ctx context.Context) Request {
 	return r
 }
 
+// attemptKey is the private context key carrying the benchmark's attempt
+// number (1-based) through a Request to fault-injection decorators.
+type attemptKey struct{}
+
+// WithAttempt returns ctx annotated with the attempt number n (1-based).
+// The benchmark's resilience loop stamps every retry with its attempt
+// number so a deterministic fault plan can key faults on (query, system,
+// attempt) without the decorator keeping mutable per-cell state.
+func WithAttempt(ctx context.Context, n int) context.Context {
+	return context.WithValue(ctx, attemptKey{}, n)
+}
+
+// AttemptFromContext extracts the attempt number stamped by WithAttempt,
+// or 0 when the call is not part of a resilience loop.
+func AttemptFromContext(ctx context.Context) int {
+	if ctx == nil {
+		return 0
+	}
+	n, _ := ctx.Value(attemptKey{}).(int)
+	return n
+}
+
+// transienter is the error-classification contract between a System (or a
+// fault-injection decorator wrapping one) and the benchmark's resilience
+// policy: an error that reports Transient() == true may succeed on retry.
+type transienter interface{ Transient() bool }
+
+// Transient reports whether err — anywhere along its Unwrap chain —
+// declares itself transient via a `Transient() bool` method. Unknown
+// errors are permanent: the resilience policy only retries what a source
+// explicitly marks retryable (plus its own attempt timeouts).
+func Transient(err error) bool {
+	for err != nil {
+		if t, ok := err.(transienter); ok && t.Transient() {
+			return true
+		}
+		err = errors.Unwrap(err)
+	}
+	return false
+}
+
 // FunctionUse records one external/user-defined function a system needed.
 type FunctionUse struct {
 	Name string

@@ -1,0 +1,52 @@
+package iwiz
+
+import (
+	"errors"
+	"testing"
+
+	"thalia/internal/integration"
+	"thalia/internal/xmldom"
+)
+
+// A transient warehouse-build failure must be all-or-nothing: the failing
+// call reports the error, nothing partial is published, the next call
+// rebuilds and succeeds, and rebuilds counts only the successful build.
+// The old sync.Once build cached the error forever — this pins the fix.
+func TestWarehouseHealsAfterTransientFailure(t *testing.T) {
+	s := New()
+	calls := 0
+	wantErr := errors.New("transient source outage")
+	s.buildFn = func() (map[string]*xmldom.Element, error) {
+		calls++
+		if calls == 1 {
+			return nil, wantErr
+		}
+		return BuildWarehouse()
+	}
+
+	if _, err := s.Answer(integration.Request{QueryID: 1}); !errors.Is(err, wantErr) {
+		t.Fatalf("first Answer error = %v, want the injected outage", err)
+	}
+	if s.rebuilds != 0 {
+		t.Fatalf("rebuilds = %d after a failed build, want 0 (only successful builds count)", s.rebuilds)
+	}
+
+	ans, err := s.Answer(integration.Request{QueryID: 1})
+	if err != nil {
+		t.Fatalf("second Answer still failing: %v (error was cached)", err)
+	}
+	if len(ans.Rows) == 0 {
+		t.Fatal("healed Answer returned no rows")
+	}
+	if s.rebuilds != 1 {
+		t.Fatalf("rebuilds = %d, want 1", s.rebuilds)
+	}
+
+	// The healed warehouse is cached.
+	if _, err := s.Answer(integration.Request{QueryID: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 || s.rebuilds != 1 {
+		t.Fatalf("build ran %d times, rebuilds %d; want 2 and 1 (success cached)", calls, s.rebuilds)
+	}
+}

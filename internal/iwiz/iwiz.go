@@ -86,17 +86,24 @@ type WrapperSpec struct {
 // Unused fields are simply absent.
 
 // System is the IWIZ model. It is safe for concurrent use: the warehouse is
-// materialized exactly once behind the sync.Once (concurrent first callers
-// block until the build completes and then share it), and Answer only reads
-// the warehoused documents.
+// materialized exactly once behind the build mutex (concurrent first
+// callers block until the build completes and then share it), and Answer
+// only reads the warehoused documents.
+//
+// The build is all-or-nothing: the warehouse map is published only after
+// every wrapper spec succeeded, and a build error is returned but never
+// cached — a transiently failing source fails that call alone instead of
+// poisoning every later query.
 type System struct {
-	once      sync.Once
+	mu        sync.Mutex
 	warehouse map[string]*xmldom.Element // source → <Courses> root in the global schema
-	err       error
-	// rebuilds counts warehouse builds (1 after first use); the ablation
-	// benchmark compares answering from the warehouse against re-wrapping
-	// per query.
+	// rebuilds counts successful warehouse builds (1 after first use); the
+	// ablation benchmark compares answering from the warehouse against
+	// re-wrapping per query.
 	rebuilds int
+	// buildFn is a test seam for the regression suite's fail-once builds;
+	// nil means BuildWarehouse.
+	buildFn func() (map[string]*xmldom.Element, error)
 }
 
 // New returns an IWIZ instance over the built-in testbed.
@@ -323,20 +330,33 @@ func applyField(course, rec *xmldom.Element, f FieldSpec) error {
 	return nil
 }
 
-func (s *System) build() {
-	s.once.Do(func() {
-		s.warehouse, s.err = BuildWarehouse()
-		s.rebuilds++
-	})
+// build materializes the warehouse, caching only a fully built one.
+func (s *System) build() (map[string]*xmldom.Element, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.warehouse != nil {
+		return s.warehouse, nil
+	}
+	buildFn := s.buildFn
+	if buildFn == nil {
+		buildFn = BuildWarehouse
+	}
+	w, err := buildFn()
+	if err != nil {
+		return nil, err
+	}
+	s.warehouse = w
+	s.rebuilds++
+	return w, nil
 }
 
 // courses returns the warehouse's global course elements for a source.
 func (s *System) courses(source string) ([]*xmldom.Element, error) {
-	s.build()
-	if s.err != nil {
-		return nil, s.err
+	warehouse, err := s.build()
+	if err != nil {
+		return nil, err
 	}
-	root, ok := s.warehouse[source]
+	root, ok := warehouse[source]
 	if !ok {
 		return nil, fmt.Errorf("iwiz: source %q is not in the warehouse", source)
 	}
@@ -382,9 +402,8 @@ func (s *System) Answer(req integration.Request) (*integration.Answer, error) {
 		sp = rec.Begin(explain.KindAnswer, "IWIZ.Answer")
 		defer sp.End()
 	}
-	s.build()
-	if s.err != nil {
-		return nil, s.err
+	if _, err := s.build(); err != nil {
+		return nil, err
 	}
 	courses := s.courses
 	if rec != nil {

@@ -1,0 +1,77 @@
+package website
+
+import (
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"thalia/internal/faultline"
+	"thalia/internal/telemetry"
+)
+
+// MetricHTTPShed counts requests rejected with 503 because the site's
+// circuit breaker was open.
+const MetricHTTPShed = "http_shed_total"
+
+// breakerGate holds the site's optional load-shedding breaker. The breaker
+// itself is concurrency-safe; the mutex only guards swapping it in.
+type breakerGate struct {
+	mu         sync.Mutex
+	breaker    *faultline.Breaker
+	retryAfter time.Duration
+}
+
+func (g *breakerGate) get() (*faultline.Breaker, time.Duration) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.breaker, g.retryAfter
+}
+
+// SetBreaker installs a circuit breaker in front of the site's handlers.
+// While the breaker is open, requests are shed with 503 Service Unavailable
+// and a Retry-After header of retryAfter (rounded up to whole seconds, min
+// 1); the observability endpoints /healthz and /metrics stay reachable so
+// operators can see the outage. Each passed-through request feeds the
+// breaker: a response below 500 counts as a success, a 5xx as a failure.
+// Passing nil removes the breaker.
+func (s *Site) SetBreaker(b *faultline.Breaker, retryAfter time.Duration) {
+	s.shedGate.mu.Lock()
+	defer s.shedGate.mu.Unlock()
+	s.shedGate.breaker = b
+	s.shedGate.retryAfter = retryAfter
+}
+
+// shedExempt lists the routes that must stay reachable during an outage.
+func shedExempt(path string) bool {
+	return path == "/healthz" || path == "/metrics"
+}
+
+// shedLoad is the load-shedding middleware: consult the breaker before the
+// handler runs, shed with 503 + Retry-After when it refuses, and record the
+// response outcome when it admits.
+func (s *Site) shedLoad() middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			b, retryAfter := s.shedGate.get()
+			if b == nil || shedExempt(r.URL.Path) {
+				next.ServeHTTP(w, r)
+				return
+			}
+			if !b.Allow() {
+				secs := int(retryAfter / time.Second)
+				if secs < 1 {
+					secs = 1
+				}
+				w.Header().Set("Retry-After", strconv.Itoa(secs))
+				s.metrics.Counter(MetricHTTPShed,
+					telemetry.L("route", routeLabel(r.URL.Path))).Inc()
+				http.Error(w, "service unavailable: shedding load", http.StatusServiceUnavailable)
+				return
+			}
+			sw := &statusWriter{ResponseWriter: w}
+			next.ServeHTTP(sw, r)
+			b.Record(sw.status() < http.StatusInternalServerError)
+		})
+	}
+}

@@ -1,0 +1,129 @@
+package website
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"thalia/internal/faultline"
+)
+
+// shedGet performs one request against the handler and returns the recorder.
+func shedGet(h http.Handler, path string) *httptest.ResponseRecorder {
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, path, nil))
+	return w
+}
+
+// Without a breaker installed, the shedding middleware is a passthrough.
+func TestShedDisabledByDefault(t *testing.T) {
+	s := New()
+	if w := shedGet(s.Handler(), "/"); w.Code != http.StatusOK {
+		t.Fatalf("GET / = %d without a breaker, want 200", w.Code)
+	}
+}
+
+// An open breaker sheds requests with 503 + Retry-After, keeps the
+// observability endpoints reachable, counts sheds, and admits traffic again
+// once the cooldown's half-open probe succeeds.
+func TestShedOpenBreaker(t *testing.T) {
+	s := New()
+	h := s.Handler()
+	b := faultline.NewBreaker(1, 2)
+	s.SetBreaker(b, 30*time.Second)
+
+	// Trip the breaker: /nope hits the mux's 404 — below 500, a success —
+	// so force the failure directly, as a backend outage would.
+	b.Record(false)
+	if b.State() != faultline.BreakerOpen {
+		t.Fatal("breaker did not open")
+	}
+
+	w := shedGet(h, "/")
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("GET / with open breaker = %d, want 503", w.Code)
+	}
+	if got := w.Header().Get("Retry-After"); got != "30" {
+		t.Fatalf("Retry-After = %q, want 30", got)
+	}
+
+	// Operators can still observe the outage.
+	if w := shedGet(h, "/healthz"); w.Code != http.StatusOK {
+		t.Fatalf("GET /healthz during outage = %d, want 200", w.Code)
+	}
+	if w := shedGet(h, "/metrics"); w.Code != http.StatusOK {
+		t.Fatalf("GET /metrics during outage = %d, want 200", w.Code)
+	}
+
+	// The first 503 consumed one cooldown slot; one more shed reaches
+	// half-open, then the probe (a healthy 200) closes the breaker.
+	if w := shedGet(h, "/"); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("second shed = %d, want 503", w.Code)
+	}
+	if b.State() != faultline.BreakerHalfOpen {
+		t.Fatalf("state after cooldown = %v, want half-open", b.State())
+	}
+	if w := shedGet(h, "/"); w.Code != http.StatusOK {
+		t.Fatalf("probe request = %d, want 200", w.Code)
+	}
+	if b.State() != faultline.BreakerClosed {
+		t.Fatalf("state after healthy probe = %v, want closed", b.State())
+	}
+	if w := shedGet(h, "/"); w.Code != http.StatusOK {
+		t.Fatalf("request after recovery = %d, want 200", w.Code)
+	}
+
+	shed := int64(0)
+	for _, c := range s.Metrics().Snapshot().Counters {
+		if c.Name == MetricHTTPShed {
+			shed += c.Value
+		}
+	}
+	if shed != 2 {
+		t.Fatalf("http_shed_total = %d, want 2", shed)
+	}
+}
+
+// A sub-second Retry-After still advertises at least one second.
+func TestShedRetryAfterFloor(t *testing.T) {
+	s := New()
+	h := s.Handler()
+	b := faultline.NewBreaker(1, 10)
+	s.SetBreaker(b, 250*time.Millisecond)
+	b.Record(false)
+	w := shedGet(h, "/")
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("code = %d, want 503", w.Code)
+	}
+	if secs, err := strconv.Atoi(w.Header().Get("Retry-After")); err != nil || secs < 1 {
+		t.Fatalf("Retry-After = %q, want ≥ 1 second", w.Header().Get("Retry-After"))
+	}
+}
+
+// Handler responses feed the breaker: enough consecutive 5xx responses trip
+// it without SetBreaker's owner ever calling Record.
+func TestShedBreakerFedByResponses(t *testing.T) {
+	s := New()
+	h := s.Handler()
+	b := faultline.NewBreaker(2, 100)
+	s.SetBreaker(b, time.Second)
+
+	// /catalogs/<unknown> is a 404 — a success signal. The breaker must
+	// stay closed on client errors.
+	for i := 0; i < 5; i++ {
+		shedGet(h, "/catalogs/unknown-university")
+	}
+	if b.State() != faultline.BreakerClosed {
+		t.Fatal("client errors tripped the breaker")
+	}
+
+	// Unset removes shedding entirely.
+	s.SetBreaker(nil, 0)
+	b.Record(false)
+	b.Record(false)
+	if w := shedGet(h, "/"); w.Code != http.StatusOK {
+		t.Fatalf("GET / after removing breaker = %d, want 200", w.Code)
+	}
+}

@@ -43,6 +43,7 @@ type Site struct {
 	logger    *log.Logger
 	nextReqID atomic.Int64
 	started   time.Time
+	shedGate  breakerGate
 }
 
 // New returns a site with an empty honor roll, a fresh metrics registry
@@ -59,8 +60,8 @@ func New() *Site {
 // Handler returns the site's HTTP handler: the Figure 4 routes plus the
 // observability endpoints (/metrics, /healthz, /debug/traces), wrapped in
 // the middleware stack — request ID, access log, per-route metrics and
-// tracing, panic recovery (innermost, so a converted 500 is still counted
-// and logged).
+// tracing, load shedding (see SetBreaker), panic recovery (innermost, so a
+// converted 500 is still counted, logged, and fed to the breaker).
 func (s *Site) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.home)
@@ -84,6 +85,7 @@ func (s *Site) Handler() http.Handler {
 		s.requestID(),
 		s.accessLog(),
 		s.httpMetrics(),
+		s.shedLoad(),
 		s.recoverPanics(),
 	)
 }

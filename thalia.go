@@ -28,6 +28,7 @@ import (
 	"thalia/internal/benchmark"
 	"thalia/internal/catalog"
 	"thalia/internal/cohera"
+	"thalia/internal/faultline"
 	"thalia/internal/hetero"
 	"thalia/internal/integration"
 	"thalia/internal/iwiz"
@@ -133,6 +134,35 @@ func EvaluateAllContext(ctx context.Context, systems ...System) ([]*Scorecard, e
 
 // Comparison renders the Section 4.2-style side-by-side table.
 func Comparison(cards []*Scorecard) string { return benchmark.Comparison(cards) }
+
+// FaultPlan is a seeded, deterministic fault-injection plan: rules that add
+// latency, transient or permanent errors, truncation, or slow-drip reads to
+// matching query×system×attempt cells.
+type FaultPlan = faultline.Plan
+
+// Resilience is the runner's retry/backoff/circuit-breaker policy. Assign
+// one to Runner.Resilience to evaluate systems under faults without
+// aborting the run: cells that exhaust their retries are marked Degraded.
+type Resilience = benchmark.Resilience
+
+// ParseFaultPlan reads and validates a JSON fault plan.
+func ParseFaultPlan(data []byte) (*FaultPlan, error) { return faultline.ParsePlan(data) }
+
+// StandardFaultMix returns the canonical chaos plan for a seed: a blend of
+// latency, transient, truncation, drip, and rare permanent faults.
+func StandardFaultMix(seed int64) *FaultPlan { return faultline.StandardMix(seed) }
+
+// WithFaults wraps a system so the plan's faults are injected into its
+// answers. A nil or empty plan returns an equivalent passthrough wrapper.
+func WithFaults(sys System, plan *FaultPlan) System { return faultline.Wrap(sys, plan, nil) }
+
+// DefaultResilience returns the stock chaos policy: 3 attempts with seeded
+// exponential-backoff jitter and a 5-failure circuit breaker.
+func DefaultResilience(seed int64) *Resilience { return benchmark.DefaultResilience(seed) }
+
+// FormatChaos renders per-cell attempt histories — the chaos companion to
+// Comparison and Scorecard.Format.
+func FormatChaos(cards []*Scorecard) string { return benchmark.FormatChaos(cards) }
 
 // Summary renders a one-line Section 4.2-style narrative for a scorecard.
 func Summary(card *Scorecard) string { return benchmark.Summary(card) }
