@@ -10,25 +10,35 @@
 // carry a documented waiver).
 //
 // The Go head type-checks the module with go/types and runs repo-specific
-// analyzers: determinism (no time.Now, math/rand, or order-leaking map
-// iteration in generator code), panicpath (no panic reachable from the
-// exported API), errcheck (no silently discarded errors in benchmark and
-// integration code), explainkinds (every explain.Kind constant is emitted
-// somewhere), and faultkinds (every faultline.Kind has an injection
-// dispatch site and a test exercising it).
+// analyzers. The classic set — determinism, panicpath, errcheck,
+// explainkinds, faultkinds — is joined by five dataflow analyzers over a
+// shared fact base: ctxflow (context plumbing), lockdiscipline (mutex
+// copies and calls under lock), goleak (goroutine termination), mapflow
+// (map iteration order reaching serialized output), and telemetrycontract
+// (metric label cardinality).
+//
+// Findings carry stable content-addressed IDs (see internal/analysis) and
+// are reconciled against the committed baseline, vet.baseline.json at the
+// module root. The baseline is a ratchet: findings not in it fail the run,
+// and baseline entries that no longer fire are stale and fail the run too.
 //
 // Usage:
 //
 //	thalia-vet [flags] [packages]
 //
-//	-json      emit findings as JSON instead of text
-//	-list      list the available checks and exit
-//	-queries   run only the query/schema head
-//	-go        run only the Go head
+//	-json             emit findings as JSON instead of text
+//	-sarif FILE       also write a SARIF 2.1.0 log to FILE ("-" for stdout)
+//	-baseline FILE    baseline file (default vet.baseline.json at module root)
+//	-update-baseline  rewrite the baseline to accept the current findings
+//	-strict           fail on warnings too, not just errors
+//	-list             list the available checks and exit
+//	-queries          run only the query/schema head
+//	-go               run only the Go head
 //
 // The packages arguments are go list patterns for the Go head (default
-// ./...). Exit status: 0 no findings, 1 findings, 2 the analysis itself
-// failed.
+// ./...). Exit status: 0 clean against the baseline, 1 fresh findings or
+// stale baseline entries (warnings fail only under -strict), 2 the
+// analysis itself failed.
 package main
 
 import (
@@ -47,6 +57,10 @@ import (
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	sarifOut := flag.String("sarif", "", "also write a SARIF 2.1.0 log to this file (\"-\" for stdout)")
+	baselinePath := flag.String("baseline", "", "baseline file (default vet.baseline.json at the module root)")
+	updateBaseline := flag.Bool("update-baseline", false, "rewrite the baseline to accept the current findings")
+	strict := flag.Bool("strict", false, "fail on warnings too, not just errors")
 	list := flag.Bool("list", false, "list the available checks and exit")
 	queriesOnly := flag.Bool("queries", false, "run only the query/schema head")
 	goOnly := flag.Bool("go", false, "run only the Go analyzers")
@@ -56,35 +70,82 @@ func main() {
 		listChecks()
 		return
 	}
-	rep, err := run(*queriesOnly, *goOnly, flag.Args())
-	if err != nil {
+	os.Exit(vet(*jsonOut, *sarifOut, *baselinePath, *updateBaseline, *strict, *queriesOnly, *goOnly, flag.Args()))
+}
+
+// vet runs the analysis and reconciles it against the baseline, returning
+// the process exit code. Split from main so the deferred-free control flow
+// stays testable and obvious.
+func vet(jsonOut bool, sarifOut, baselinePath string, updateBaseline, strict, queriesOnly, goOnly bool, patterns []string) int {
+	fail := func(err error) int {
 		fmt.Fprintln(os.Stderr, "thalia-vet:", err)
-		os.Exit(2)
+		return 2
 	}
-	rep.Sort()
-	if *jsonOut {
-		b, err := rep.JSON()
+
+	root, err := moduleRoot()
+	if err != nil {
+		return fail(err)
+	}
+	if baselinePath == "" {
+		baselinePath = filepath.Join(root, "vet.baseline.json")
+	}
+
+	rep, err := run(root, queriesOnly, goOnly, patterns)
+	if err != nil {
+		return fail(err)
+	}
+	rep.Finalize()
+
+	if updateBaseline {
+		if err := analysis.WriteBaseline(baselinePath, analysis.NewBaseline(rep.Findings)); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "thalia-vet: baseline %s updated with %d finding(s)\n", baselinePath, len(rep.Findings))
+		return 0
+	}
+
+	base, err := analysis.LoadBaseline(baselinePath)
+	if err != nil {
+		return fail(err)
+	}
+	fresh, suppressed, stale := base.Apply(rep.Findings)
+
+	if sarifOut != "" {
+		sarif, err := rep.SARIF(analysis.AllCheckDocs(analysis.DefaultGoAnalyzers()), base.BaselinedIDs())
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "thalia-vet:", err)
-			os.Exit(2)
+			return fail(err)
+		}
+		if sarifOut == "-" {
+			os.Stdout.Write(sarif)
+		} else if err := os.WriteFile(sarifOut, sarif, 0o644); err != nil {
+			return fail(err)
+		}
+	}
+
+	// Reported output covers fresh findings only; baselined ones are
+	// accepted debt and show up solely in the SARIF suppressions.
+	freshRep := &analysis.Report{Findings: fresh}
+	if jsonOut {
+		b, err := freshRep.JSON()
+		if err != nil {
+			return fail(err)
 		}
 		fmt.Println(string(b))
 	} else {
-		fmt.Print(rep.Text())
-	}
-	if len(rep.Findings) > 0 {
-		if !*jsonOut {
-			fmt.Fprintf(os.Stderr, "thalia-vet: %d finding(s)\n", len(rep.Findings))
+		fmt.Print(freshRep.Text())
+		for _, e := range stale {
+			fmt.Printf("%s: [%s] baseline entry %s is stale: the finding no longer fires (%s) — remove it from the baseline\n",
+				e.File, e.Check, e.ID, e.Message)
 		}
-		os.Exit(1)
+		if len(fresh) > 0 || len(stale) > 0 {
+			fmt.Fprintf(os.Stderr, "thalia-vet: %d fresh finding(s), %d suppressed by baseline, %d stale baseline entr(ies)\n",
+				len(fresh), len(suppressed), len(stale))
+		}
 	}
+	return analysis.ExitCode(fresh, stale, strict)
 }
 
-func run(queriesOnly, goOnly bool, patterns []string) (*analysis.Report, error) {
-	root, err := moduleRoot()
-	if err != nil {
-		return nil, err
-	}
+func run(root string, queriesOnly, goOnly bool, patterns []string) (*analysis.Report, error) {
 	rep := &analysis.Report{}
 	if !goOnly {
 		queryHead(rep, root)
@@ -143,21 +204,12 @@ func moduleRoot() (string, error) {
 func listChecks() {
 	var b bytes.Buffer
 	b.WriteString("query/schema head:\n")
-	for _, c := range [][2]string{
-		{"parse", "every benchmark query text parses"},
-		{"dead-path", "every path step resolves against the catalog schemas"},
-		{"unbound-var", "every $variable is bound by an enclosing for/let"},
-		{"unknown-func", "every called function is a builtin or declared external"},
-		{"type-unify", "comparison operands unify under the schema's types"},
-		{"complexity", "hand-assigned complexities match the automatic estimate (or are waived)"},
-		{"mapping", "mediation tables resolve against source schemas; global queries are fully mapped"},
-		{"catalog", "every source materializes, validates, and round-trips its schema"},
-	} {
-		fmt.Fprintf(&b, "  %-12s %s\n", c[0], c[1])
+	for _, c := range analysis.QueryCheckDocs() {
+		fmt.Fprintf(&b, "  %-16s %s\n", c.Name, c.Doc)
 	}
 	b.WriteString("go head:\n")
 	for _, a := range analysis.DefaultGoAnalyzers() {
-		fmt.Fprintf(&b, "  %-12s %s\n", a.Name, a.Doc)
+		fmt.Fprintf(&b, "  %-16s %s\n", a.Name, a.Doc)
 	}
 	fmt.Print(b.String())
 }

@@ -396,9 +396,14 @@ func startProfiles(dir string) (func() error, error) {
 		if err != nil {
 			return err
 		}
-		defer heap.Close()
 		runtime.GC() // materialize up-to-date allocation stats
-		return pprof.WriteHeapProfile(heap)
+		if err := pprof.WriteHeapProfile(heap); err != nil {
+			heap.Close()
+			return err
+		}
+		// Close explicitly: this is where buffered profile writes surface
+		// their errors, and a deferred Close would swallow them.
+		return heap.Close()
 	}, nil
 }
 

@@ -27,20 +27,49 @@ import (
 	"strings"
 )
 
+// Severity grades how a finding affects thalia-vet's exit status: an error
+// fails the run outright, a warning is advisory (it fails only under
+// -strict, which CI uses). The empty string means SeverityError.
+const (
+	SeverityError   = "error"
+	SeverityWarning = "warning"
+)
+
 // Finding is one defect located by an analyzer.
 type Finding struct {
+	// ID is the finding's stable content-addressed identity: a hash of
+	// check, file, symbol, query and normalized message — deliberately not
+	// the line/column, so an unrelated refactor that shifts code down a
+	// file does not orphan baseline entries. Assigned by Finalize.
+	ID string `json:"id,omitempty"`
 	// Check names the analyzer that produced the finding.
 	Check string `json:"check"`
+	// Severity is SeverityError or SeverityWarning ("" means error).
+	Severity string `json:"severity,omitempty"`
 	// File is the repo-relative file the finding points at ("" when the
 	// analysis could not map the finding back to a source file).
 	File string `json:"file,omitempty"`
 	// Line and Column are 1-based; zero means unknown.
 	Line   int `json:"line,omitempty"`
 	Column int `json:"column,omitempty"`
+	// Symbol is the declaration the finding sits in (a function's
+	// qualified name, e.g. "thalia/internal/benchmark.(*Runner).Explain"),
+	// "" when the finding is not inside a Go declaration. Part of the
+	// stable ID, so findings survive line drift but not moving to another
+	// function.
+	Symbol string `json:"symbol,omitempty"`
 	// QueryID is the benchmark query the finding concerns, 0 if none.
 	QueryID int `json:"query,omitempty"`
 	// Message describes the defect.
 	Message string `json:"message"`
+}
+
+// EffectiveSeverity normalizes the empty severity to SeverityError.
+func (f Finding) EffectiveSeverity() string {
+	if f.Severity == SeverityWarning {
+		return SeverityWarning
+	}
+	return SeverityError
 }
 
 // String renders the finding in the file:line: [check] message shape the
@@ -95,6 +124,13 @@ func (r *Report) Sort() {
 		}
 		return a.Message < b.Message
 	})
+}
+
+// Finalize orders the findings and assigns every one its stable ID; the
+// CLI calls it once after all heads have reported.
+func (r *Report) Finalize() {
+	r.Sort()
+	AssignIDs(r.Findings)
 }
 
 // Text renders one finding per line.

@@ -1,0 +1,167 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Baseline ratchet
+//
+// The baseline file (vet.baseline.json at the module root) is the list of
+// findings the repository has consciously accepted. Its semantics are a
+// ratchet, enforced in both directions:
+//
+//   - a finding NOT in the baseline fails the run — new debt needs a
+//     deliberate `-update-baseline`, reviewed like any other diff;
+//   - a baseline entry whose finding no longer fires is STALE and also
+//     fails the run — fixed debt must be struck from the ledger, so the
+//     baseline only ever shrinks by becoming honest, never by rotting.
+//
+// Matching is by stable finding ID (see findingid.go), so line drift
+// neither orphans entries nor lets a finding masquerade as baselined.
+// `-update-baseline` rewrites the file deterministically from the current
+// findings; running it twice in a row is byte-for-byte a no-op.
+
+// BaselineEntry is one accepted finding. It carries the human-readable
+// coordinates alongside the ID so the file reviews well, but the ID alone
+// is the identity.
+type BaselineEntry struct {
+	ID      string `json:"id"`
+	Check   string `json:"check"`
+	File    string `json:"file,omitempty"`
+	Symbol  string `json:"symbol,omitempty"`
+	Message string `json:"message"`
+}
+
+// Baseline is the decoded baseline file.
+type Baseline struct {
+	Version  int             `json:"version"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// baselineVersion is the current file format version.
+const baselineVersion = 1
+
+// NewBaseline builds a baseline accepting exactly the given findings.
+// Call AssignIDs (or Report.Finalize) first.
+func NewBaseline(findings []Finding) *Baseline {
+	b := &Baseline{Version: baselineVersion, Findings: make([]BaselineEntry, 0, len(findings))}
+	for _, f := range findings {
+		b.Findings = append(b.Findings, BaselineEntry{
+			ID: f.ID, Check: f.Check, File: f.File, Symbol: f.Symbol, Message: f.Message,
+		})
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Check != c.Check {
+			return a.Check < c.Check
+		}
+		if a.Message != c.Message {
+			return a.Message < c.Message
+		}
+		return a.ID < c.ID
+	})
+	return b
+}
+
+// LoadBaseline reads and decodes a baseline file. A missing file is not an
+// error: it decodes as the empty baseline, so a repo without one simply
+// accepts no findings.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{Version: baselineVersion}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("baseline %s: %v", path, err)
+	}
+	if b.Version != baselineVersion {
+		return nil, fmt.Errorf("baseline %s: version %d, this thalia-vet speaks %d (regenerate with -update-baseline)",
+			path, b.Version, baselineVersion)
+	}
+	return &b, nil
+}
+
+// Marshal renders the baseline in its canonical byte form: sorted entries,
+// two-space indent, trailing newline. WriteBaseline and the update-is-a-
+// no-op guarantee both rest on this being deterministic.
+func (b *Baseline) Marshal() ([]byte, error) {
+	if b.Findings == nil {
+		b.Findings = []BaselineEntry{}
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// WriteBaseline writes the canonical form to path.
+func WriteBaseline(path string, b *Baseline) error {
+	data, err := b.Marshal()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Apply splits the report's findings against the baseline: fresh findings
+// (not baselined — these fail the run), suppressed findings (baselined,
+// reported only on request), and stale entries (baselined but no longer
+// firing — these fail the run too).
+func (b *Baseline) Apply(findings []Finding) (fresh, suppressed []Finding, stale []BaselineEntry) {
+	accepted := make(map[string]bool, len(b.Findings))
+	for _, e := range b.Findings {
+		accepted[e.ID] = true
+	}
+	fired := map[string]bool{}
+	for _, f := range findings {
+		fired[f.ID] = true
+		if accepted[f.ID] {
+			suppressed = append(suppressed, f)
+		} else {
+			fresh = append(fresh, f)
+		}
+	}
+	for _, e := range b.Findings {
+		if !fired[e.ID] {
+			stale = append(stale, e)
+		}
+	}
+	return fresh, suppressed, stale
+}
+
+// BaselinedIDs returns the set of accepted finding IDs, for SARIF
+// suppression marking.
+func (b *Baseline) BaselinedIDs() map[string]bool {
+	out := make(map[string]bool, len(b.Findings))
+	for _, e := range b.Findings {
+		out[e.ID] = true
+	}
+	return out
+}
+
+// ExitCode computes thalia-vet's exit status from a baseline-applied run:
+// 0 clean, 1 findings. Severity-aware: fresh error-severity findings and
+// stale baseline entries always fail; fresh warnings fail only under
+// strict (CI runs strict, interactive runs need not).
+func ExitCode(fresh []Finding, stale []BaselineEntry, strict bool) int {
+	if len(stale) > 0 {
+		return 1
+	}
+	for _, f := range fresh {
+		if f.EffectiveSeverity() == SeverityError || strict {
+			return 1
+		}
+	}
+	return 0
+}

@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlowScope lists the packages where context propagation is a
+// correctness contract: the engine's cancellation and per-cell deadlines
+// (benchmark), the website's request-scoped handlers, and the fault
+// injector whose latency faults must not outlive a cancelled run.
+var CtxFlowScope = []string{
+	"thalia/internal/benchmark",
+	"thalia/internal/website",
+	"thalia/internal/faultline",
+	"thalia/internal/integration",
+}
+
+// CtxFlow returns the analyzer that enforces context propagation: a
+// function that accepts a context.Context must hand that context (or one
+// derived from it) to every callee that takes one — reaching for
+// context.Background() or context.TODO() mid-chain silently detaches the
+// callee from cancellation and deadlines. It also forbids bare time.Sleep
+// in any function that has a context available: a sleeping worker ignores
+// cancellation for the whole pause (the repo's ctx-aware sleep helper is
+// the remedy).
+func CtxFlow() *GoAnalyzer { return ctxFlowFor(CtxFlowScope) }
+
+// ctxFlowFor scopes the ctxflow analyzer to the given import paths; nil
+// means every loaded package.
+func ctxFlowFor(scope []string) *GoAnalyzer {
+	return &GoAnalyzer{
+		Name: "ctxflow",
+		Doc:  "a function holding a ctx must pass it on, and must not block in time.Sleep",
+		RunFacts: func(fb *FactBase) []Finding {
+			var out []Finding
+			fb.All(func(ff *FuncFact) {
+				if scope != nil && !inScope(ff.Pkg, scope) {
+					return
+				}
+				if ff.CtxIndex < 0 {
+					return
+				}
+				out = append(out, runCtxFlow(ff)...)
+			})
+			return out
+		},
+	}
+}
+
+// runCtxFlow checks one context-carrying function's call sites.
+func runCtxFlow(ff *FuncFact) []Finding {
+	p := ff.Pkg
+	var out []Finding
+	add := func(pos ast.Node, format string, args ...interface{}) {
+		file, line, col := p.Position(pos.Pos())
+		out = append(out, Finding{Check: "ctxflow", File: file, Line: line, Column: col,
+			Message: fmt.Sprintf(format, args...)})
+	}
+	ast.Inspect(ff.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeOf(p.Info, call)
+		fn, ok := callee.(*types.Func)
+		if !ok {
+			return true
+		}
+		if isPkgFunc(fn, "time", "Sleep") {
+			add(call, "time.Sleep in %s ignores ctx cancellation for the whole pause (select on ctx.Done() and a timer instead)", ff.Decl.Name.Name)
+			return true
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok {
+			return true
+		}
+		idx := ctxParamIndex(sig)
+		if idx < 0 || idx >= len(call.Args) {
+			return true
+		}
+		if freshCtx(p.Info, call.Args[idx]) {
+			add(call.Args[idx], "%s accepts a ctx but passes %s to %s, detaching it from cancellation (pass the caller's ctx or one derived from it)",
+				ff.Decl.Name.Name, freshCtxName(p.Info, call.Args[idx]), fn.Name())
+		}
+		return true
+	})
+	return out
+}
+
+// freshCtx reports whether an argument expression manufactures a detached
+// context: a direct context.Background() or context.TODO() call.
+func freshCtx(info *types.Info, arg ast.Expr) bool {
+	return freshCtxName(info, arg) != ""
+}
+
+// freshCtxName names the detached-context constructor an argument calls,
+// "" if it is not one.
+func freshCtxName(info *types.Info, arg ast.Expr) string {
+	call, ok := ast.Unparen(arg).(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	obj := calleeOf(info, call)
+	if isPkgFunc(obj, "context", "Background") {
+		return "context.Background()"
+	}
+	if isPkgFunc(obj, "context", "TODO") {
+		return "context.TODO()"
+	}
+	return ""
+}

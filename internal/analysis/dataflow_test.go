@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The dataflow analyzers are tested against the on-disk fixture module in
+// testdata/vetmod: one package per analyzer, each seeding the defect
+// classes the analyzer exists to catch next to the correct forms it must
+// stay silent about. The module is loaded once and shared.
+
+var (
+	vetmodOnce sync.Once
+	vetmodPkgs []*GoPackage
+	vetmodErr  error
+)
+
+func loadVetmod(t *testing.T) []*GoPackage {
+	t.Helper()
+	vetmodOnce.Do(func() {
+		root, err := filepath.Abs(filepath.Join("testdata", "vetmod"))
+		if err != nil {
+			vetmodErr = err
+			return
+		}
+		vetmodPkgs, vetmodErr = LoadGoPackages(root, "./...")
+	})
+	if vetmodErr != nil {
+		t.Fatal(vetmodErr)
+	}
+	return vetmodPkgs
+}
+
+// checkFindings asserts that the findings carry the given check name and a
+// position, that every want substring matches exactly one finding, and that
+// no finding mentions a quiet name (the fixture's correct forms).
+func checkFindings(t *testing.T, findings []Finding, check string, want []string, quiet []string) {
+	t.Helper()
+	rep := &Report{Findings: findings}
+	rep.Finalize()
+	if len(rep.Findings) != len(want) {
+		t.Fatalf("got %d findings, want %d:\n%s", len(rep.Findings), len(want), rep.Text())
+	}
+	for _, f := range rep.Findings {
+		if f.Check != check {
+			t.Errorf("finding has check %q, want %q: %s", f.Check, check, f)
+		}
+		if f.File == "" || f.Line == 0 {
+			t.Errorf("finding lacks a position: %s", f)
+		}
+		if f.ID == "" || !strings.HasPrefix(f.ID, "ftv1-") {
+			t.Errorf("finding lacks a stable ID: %s", f)
+		}
+		for _, q := range quiet {
+			if strings.Contains(f.Message, q) {
+				t.Errorf("unexpected finding about %s: %s", q, f)
+			}
+		}
+	}
+	for _, w := range want {
+		n := 0
+		for _, f := range rep.Findings {
+			if strings.Contains(f.Message, w) {
+				n++
+			}
+		}
+		if n != 1 {
+			t.Errorf("substring %q matches %d findings, want 1:\n%s", w, n, rep.Text())
+		}
+	}
+}
+
+func TestCtxFlowFixture(t *testing.T) {
+	pkgs := loadVetmod(t)
+	findings := RunGoAnalyzers(pkgs, []*GoAnalyzer{ctxFlowFor([]string{"vetmod/ctxflow"})})
+	checkFindings(t, findings, "ctxflow",
+		[]string{
+			"time.Sleep in SleepyPoll ignores ctx cancellation",
+			"Detached accepts a ctx but passes context.Background() to lookup",
+			"Todoed accepts a ctx but passes context.TODO() to lookup",
+		},
+		[]string{"Chained", "Derived", "NoCtx"})
+}
+
+func TestLockDisciplineFixture(t *testing.T) {
+	pkgs := loadVetmod(t)
+	findings := RunGoAnalyzers(pkgs, []*GoAnalyzer{lockDisciplineFor("vetmod/sys.System", []string{"vetmod/lockdisc"})})
+	checkFindings(t, findings, "lockdiscipline",
+		[]string{
+			"method Snapshot has a value receiver of lock-bearing type vetmod/lockdisc.Guarded",
+			"parameter g of Consume passes lock-bearing type vetmod/lockdisc.Guarded by value",
+			"assignment copies a value of lock-bearing type vetmod/lockdisc.Guarded",
+			"call into integration.System method Answer while holding g.mu in AnswerUnderLock",
+			"channel send while holding g.mu in Publish ",
+		},
+		[]string{"AnswerOutsideLock", "PublishAfter", "Borrow"})
+}
+
+func TestGoLeakFixture(t *testing.T) {
+	pkgs := loadVetmod(t)
+	findings := RunGoAnalyzers(pkgs, []*GoAnalyzer{goLeakFor([]string{"vetmod/goleak"})})
+	checkFindings(t, findings, "goleak",
+		[]string{
+			"goroutine spawned in SpinForever never terminates",
+			"goroutine spawned in HalfFixed never terminates",
+			"goroutine spawned in SpawnNamed never terminates",
+		},
+		[]string{"CtxBound", "Labeled", "Drain", "Bounded"})
+	// goleak proves the absence of an exit statement, not of every exit in
+	// execution: its findings are warnings and gate CI only under -strict.
+	for _, f := range findings {
+		if f.EffectiveSeverity() != SeverityWarning {
+			t.Errorf("goleak finding has severity %q, want warning: %s", f.EffectiveSeverity(), f)
+		}
+	}
+}
+
+func TestMapFlowFixture(t *testing.T) {
+	pkgs := loadVetmod(t)
+	findings := RunGoAnalyzers(pkgs, []*GoAnalyzer{mapFlowFor([]string{"vetmod/mapflow"})})
+	checkFindings(t, findings, "mapflow",
+		[]string{
+			"result of Keys flows into serialized output in RenderDirect without a sort",
+			"result of Passthrough flows into serialized output in RenderVar without a sort",
+			"result of Keys flows into serialized output in RenderLoop without a sort",
+		},
+		[]string{"RenderSorted", "Count", "SortedKeys"})
+}
+
+func TestTelemetryContractFixture(t *testing.T) {
+	pkgs := loadVetmod(t)
+	findings := RunGoAnalyzers(pkgs, []*GoAnalyzer{telemetryContractFor("vetmod/telem", []string{"vetmod/labels"})})
+	checkFindings(t, findings, "telemetrycontract",
+		[]string{
+			`label "reason" registered in RecordErr takes its value from err.Error()`,
+			`label "reason" registered in RecordErrFmt takes its value from a value of type error`,
+			`label "path" registered in RecordPath takes its value from the per-request field r.URL.Path`,
+			`label "path" registered in RecordVar takes its value from the per-request field r.URL.Path`,
+		},
+		[]string{"RecordHit", "RecordRoute", "RecordSystem"})
+}
+
+func TestErrCheckV2Fixture(t *testing.T) {
+	pkgs := loadVetmod(t)
+	findings := RunGoAnalyzers(pkgs, []*GoAnalyzer{ErrCheckFor([]string{"vetmod/errdefer"})})
+	checkFindings(t, findings, "errcheck",
+		[]string{
+			"result of cleanup() contains an error that is silently discarded inside a deferred cleanup",
+			"deferred Close on writable file f discards the write-back error",
+			"deferred Close on writable file lf discards the write-back error",
+		},
+		[]string{"DeferredChecked", "WriteOutChecked", "ReadIn"})
+}

@@ -1,0 +1,208 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// FactBase is the shared substrate of the dataflow analyzers: every loaded
+// function indexed by its qualified name, the static call graph between
+// them, and per-function facts the individual analyzers would otherwise
+// each re-derive (which parameter is the context, where the body's calls
+// are). It is built once per thalia-vet run and handed to every analyzer
+// that declares RunFacts.
+//
+// The call graph is the same approximation the panicpath analyzer uses:
+// edges exist for statically resolvable calls (plain functions, methods on
+// concrete receivers); interface dispatch and function values contribute no
+// edges. Analyzers that need soundness against dynamic dispatch must say so
+// in their contract instead of assuming it.
+type FactBase struct {
+	Pkgs []*GoPackage
+	// Funcs indexes every declared function and method with a body,
+	// keyed by types.Func.FullName (stable across packages).
+	Funcs map[string]*FuncFact
+	// order holds the keys sorted, so iteration over the fact base is
+	// deterministic regardless of map order.
+	order []string
+}
+
+// FuncFact is the per-function slice of the fact base.
+type FuncFact struct {
+	Key  string // types.Func.FullName()
+	Pkg  *GoPackage
+	Decl *ast.FuncDecl
+	Obj  *types.Func
+	// CtxIndex is the position of the first context.Context parameter in
+	// the signature (receiver excluded), -1 when the function takes none.
+	CtxIndex int
+	// Callees are the statically resolved callee keys, in source order,
+	// possibly with duplicates (one per call site).
+	Callees []string
+}
+
+// NewFactBase indexes the packages. Cost is one AST pass per function, so
+// building it once and sharing it across analyzers is the point.
+func NewFactBase(pkgs []*GoPackage) *FactBase {
+	fb := &FactBase{Pkgs: pkgs, Funcs: map[string]*FuncFact{}}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				decl, ok := d.(*ast.FuncDecl)
+				if !ok || decl.Body == nil {
+					continue
+				}
+				obj := funcFor(p.Info, decl)
+				if obj == nil {
+					continue
+				}
+				ff := &FuncFact{
+					Key:      obj.FullName(),
+					Pkg:      p,
+					Decl:     decl,
+					Obj:      obj,
+					CtxIndex: ctxParamIndex(obj.Type().(*types.Signature)),
+				}
+				ast.Inspect(decl.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if callee, ok := calleeOf(p.Info, call).(*types.Func); ok {
+						ff.Callees = append(ff.Callees, callee.FullName())
+					}
+					return true
+				})
+				fb.Funcs[ff.Key] = ff
+				fb.order = append(fb.order, ff.Key)
+			}
+		}
+	}
+	sort.Strings(fb.order)
+	return fb
+}
+
+// All calls fn for every function fact in deterministic (sorted-key) order.
+func (fb *FactBase) All(fn func(*FuncFact)) {
+	for _, key := range fb.order {
+		fn(fb.Funcs[key])
+	}
+}
+
+// LookupInterface resolves a qualified interface name like
+// "thalia/internal/integration.System" against the loaded packages and
+// their imports. Returns nil when the type is not in the analyzed program —
+// callers must treat that as "rule disabled", not "rule passed".
+func (fb *FactBase) LookupInterface(qualified string) *types.Interface {
+	dot := strings.LastIndex(qualified, ".")
+	if dot < 0 {
+		return nil
+	}
+	path, name := qualified[:dot], qualified[dot+1:]
+	lookup := func(tp *types.Package) *types.Interface {
+		if tp == nil || tp.Path() != path {
+			return nil
+		}
+		obj, ok := tp.Scope().Lookup(name).(*types.TypeName)
+		if !ok {
+			return nil
+		}
+		iface, ok := obj.Type().Underlying().(*types.Interface)
+		if !ok {
+			return nil
+		}
+		return iface
+	}
+	for _, p := range fb.Pkgs {
+		if iface := lookup(p.Types); iface != nil {
+			return iface
+		}
+		for _, imp := range p.Types.Imports() {
+			if iface := lookup(imp); iface != nil {
+				return iface
+			}
+		}
+	}
+	return nil
+}
+
+// ctxParamIndex returns the index of the first context.Context parameter of
+// sig, -1 when there is none.
+func ctxParamIndex(sig *types.Signature) int {
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return i
+		}
+	}
+	return -1
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// isPkgFunc reports whether obj is the named function of the named package
+// (e.g. isPkgFunc(obj, "time", "Sleep")).
+func isPkgFunc(obj types.Object, pkg, name string) bool {
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkg && obj.Name() == name
+}
+
+// declSpan is one entry of the symbol index: the line range a declaration
+// covers in its file.
+type declSpan struct {
+	start, end int
+	symbol     string
+}
+
+// AssignSymbols fills in the Symbol of every finding that falls inside a
+// declared function or method of the analyzed packages, by mapping the
+// finding's file and line back to the declaration covering it. Findings
+// outside any declaration (package clauses, imports, var blocks) keep an
+// empty Symbol; their identity rests on file + message alone.
+func AssignSymbols(pkgs []*GoPackage, findings []Finding) {
+	index := map[string][]declSpan{}
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				decl, ok := d.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				obj := funcFor(p.Info, decl)
+				if obj == nil {
+					continue
+				}
+				file, start, _ := p.Position(decl.Pos())
+				end := position(p.Fset, decl.End()).Line
+				index[file] = append(index[file], declSpan{start: start, end: end, symbol: obj.FullName()})
+			}
+		}
+	}
+	for file := range index {
+		spans := index[file]
+		sort.Slice(spans, func(i, j int) bool { return spans[i].start < spans[j].start })
+	}
+	for i := range findings {
+		f := &findings[i]
+		if f.Symbol != "" || f.File == "" || f.Line == 0 {
+			continue
+		}
+		for _, span := range index[f.File] {
+			if span.start <= f.Line && f.Line <= span.end {
+				f.Symbol = span.symbol
+				break
+			}
+		}
+	}
+}
+
+func position(fset *token.FileSet, pos token.Pos) token.Position { return fset.Position(pos) }

@@ -1,0 +1,58 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"strconv"
+	"strings"
+)
+
+// Finding identity
+//
+// The baseline ratchet and SARIF fingerprints both need every finding to
+// carry an identity that survives the edits code review actually produces:
+// inserting a function above the finding, reformatting, adding a comment.
+// Line numbers fail that test immediately, so the ID hashes only content
+// that describes the defect itself:
+//
+//	check \x00 file \x00 symbol \x00 query \x00 message \x00 occurrence
+//
+// The symbol (enclosing declaration) pins the finding to the function it
+// lives in rather than where that function happens to sit in the file; the
+// occurrence ordinal disambiguates several identical findings inside one
+// symbol (two identical panic sites in one function get ordinals 0 and 1),
+// counted in the report's sorted order so assignment is deterministic.
+//
+// The "ftv1-" prefix versions the scheme: if the hashed fields ever change,
+// the prefix changes with them and every old baseline entry goes loudly
+// stale instead of silently mismatching.
+
+// idVersion prefixes every finding ID; bump it when the hashed content
+// changes shape.
+const idVersion = "ftv1-"
+
+// idKey renders the content-addressed part of a finding's identity,
+// excluding the occurrence ordinal.
+func idKey(f Finding) string {
+	return strings.Join([]string{
+		f.Check,
+		f.File,
+		f.Symbol,
+		strconv.Itoa(f.QueryID),
+		f.Message,
+	}, "\x00")
+}
+
+// AssignIDs computes and stores the stable ID of every finding in place.
+// Call it on sorted findings (Report.Finalize does): occurrence ordinals of
+// identical findings follow slice order.
+func AssignIDs(findings []Finding) {
+	seen := map[string]int{}
+	for i := range findings {
+		key := idKey(findings[i])
+		n := seen[key]
+		seen[key] = n + 1
+		sum := sha256.Sum256([]byte(key + "\x00" + strconv.Itoa(n)))
+		findings[i].ID = idVersion + hex.EncodeToString(sum[:8])
+	}
+}

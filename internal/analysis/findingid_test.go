@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestAssignIDsStableAcrossLines is the contract the baseline ratchet rests
+// on: a finding's ID hashes the defect's content (check, file, symbol,
+// message, occurrence), never its line or column, so edits that only shift
+// code keep the identity.
+func TestAssignIDsStableAcrossLines(t *testing.T) {
+	a := []Finding{{Check: "ctxflow", File: "a/a.go", Symbol: "a.F", Line: 10, Column: 3, Message: "m"}}
+	b := []Finding{{Check: "ctxflow", File: "a/a.go", Symbol: "a.F", Line: 99, Column: 7, Message: "m"}}
+	AssignIDs(a)
+	AssignIDs(b)
+	if a[0].ID == "" || a[0].ID != b[0].ID {
+		t.Errorf("line shift changed the ID: %q vs %q", a[0].ID, b[0].ID)
+	}
+}
+
+// TestAssignIDsOccurrenceOrdinals: identical findings in one symbol must
+// still get distinct, deterministically ordered IDs.
+func TestAssignIDsOccurrenceOrdinals(t *testing.T) {
+	f := Finding{Check: "panicpath", File: "a/a.go", Symbol: "a.F", Message: "m"}
+	twice := []Finding{f, f}
+	AssignIDs(twice)
+	if twice[0].ID == twice[1].ID {
+		t.Errorf("identical findings share ID %q", twice[0].ID)
+	}
+	again := []Finding{f, f}
+	AssignIDs(again)
+	if twice[0].ID != again[0].ID || twice[1].ID != again[1].ID {
+		t.Errorf("occurrence ordinals are not deterministic: %v vs %v",
+			[]string{twice[0].ID, twice[1].ID}, []string{again[0].ID, again[1].ID})
+	}
+}
+
+// TestAssignIDsDistinguishContent: any hashed field changing must change
+// the ID — otherwise distinct defects could collide into one baseline entry.
+func TestAssignIDsDistinguishContent(t *testing.T) {
+	base := Finding{Check: "ctxflow", File: "a/a.go", Symbol: "a.F", Message: "m", QueryID: 1}
+	variants := []Finding{
+		{Check: "mapflow", File: "a/a.go", Symbol: "a.F", Message: "m", QueryID: 1},
+		{Check: "ctxflow", File: "b/b.go", Symbol: "a.F", Message: "m", QueryID: 1},
+		{Check: "ctxflow", File: "a/a.go", Symbol: "a.G", Message: "m", QueryID: 1},
+		{Check: "ctxflow", File: "a/a.go", Symbol: "a.F", Message: "n", QueryID: 1},
+		{Check: "ctxflow", File: "a/a.go", Symbol: "a.F", Message: "m", QueryID: 2},
+	}
+	all := append([]Finding{base}, variants...)
+	AssignIDs(all)
+	for i := 1; i < len(all); i++ {
+		if all[i].ID == all[0].ID {
+			t.Errorf("variant %d collides with base ID %q", i, all[0].ID)
+		}
+	}
+}
+
+// TestFindingIDsSurviveLineShift is the end-to-end golden test: run a real
+// analyzer over a fixture, prepend comment lines so every position moves,
+// run again, and demand the IDs come out identical while the lines differ.
+func TestFindingIDsSurviveLineShift(t *testing.T) {
+	const src = `package gen
+
+import "time"
+
+// Stamp is nondeterministic.
+func Stamp() string { return time.Now().String() }
+`
+	write := func(dir, body string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module fixture\n\ngo 1.24\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Join(dir, "gen"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "gen", "gen.go"), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	analyze := func(dir string) []Finding {
+		t.Helper()
+		pkgs, err := LoadGoPackages(dir, "./...")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := &Report{Findings: RunGoAnalyzers(pkgs, []*GoAnalyzer{DeterminismFor([]string{"fixture/gen"})})}
+		rep.Finalize()
+		if len(rep.Findings) == 0 {
+			t.Fatal("fixture produced no findings")
+		}
+		return rep.Findings
+	}
+
+	d1 := t.TempDir()
+	write(d1, src)
+	before := analyze(d1)
+
+	d2 := t.TempDir()
+	write(d2, "// shifted\n// by\n// three lines\n"+src)
+	after := analyze(d2)
+
+	if len(before) != len(after) {
+		t.Fatalf("finding count changed: %d vs %d", len(before), len(after))
+	}
+	for i := range before {
+		if before[i].ID != after[i].ID {
+			t.Errorf("finding %d ID drifted across a line shift: %q vs %q", i, before[i].ID, after[i].ID)
+		}
+		if before[i].Symbol == "" {
+			t.Errorf("finding %d has no symbol attribution: %s", i, before[i])
+		}
+		if before[i].Line == after[i].Line {
+			t.Errorf("finding %d line did not shift (test is vacuous): line %d", i, before[i].Line)
+		}
+	}
+}

@@ -7,6 +7,10 @@ import (
 
 // GoAnalyzer is one check over type-checked Go packages — the Go head's
 // analogue of a go vet analyzer, scoped to this repository's invariants.
+// Exactly one of Run and RunFacts is set: syntactic analyzers take the raw
+// packages, dataflow analyzers take the shared FactBase (call graph plus
+// per-function facts) so the program is indexed once per run, not once per
+// analyzer.
 type GoAnalyzer struct {
 	// Name is the check name findings carry.
 	Name string
@@ -15,19 +19,37 @@ type GoAnalyzer struct {
 	// Run analyzes the packages together (some checks, like call-graph
 	// reachability, are whole-program) and returns findings.
 	Run func(pkgs []*GoPackage) []Finding
+	// RunFacts analyzes via the shared fact base.
+	RunFacts func(fb *FactBase) []Finding
 }
 
-// DefaultGoAnalyzers returns the Go head's standard analyzer set.
+// DefaultGoAnalyzers returns the Go head's standard analyzer set: the
+// syntactic v1 analyzers plus the v2 dataflow set.
 func DefaultGoAnalyzers() []*GoAnalyzer {
-	return []*GoAnalyzer{Determinism(), PanicPath(), ErrCheck(), ExplainKinds(), FaultKinds()}
+	return []*GoAnalyzer{
+		Determinism(), PanicPath(), ErrCheck(), ExplainKinds(), FaultKinds(),
+		CtxFlow(), LockDiscipline(), GoLeak(), MapFlow(), TelemetryContract(),
+	}
 }
 
 // RunGoAnalyzers runs every analyzer over the packages and merges findings.
+// The fact base is built lazily, once, when the first RunFacts analyzer
+// needs it; afterwards every finding inside a declared function gets its
+// Symbol attributed so stable IDs can be computed.
 func RunGoAnalyzers(pkgs []*GoPackage, analyzers []*GoAnalyzer) []Finding {
+	var fb *FactBase
 	var out []Finding
 	for _, a := range analyzers {
+		if a.RunFacts != nil {
+			if fb == nil {
+				fb = NewFactBase(pkgs)
+			}
+			out = append(out, a.RunFacts(fb)...)
+			continue
+		}
 		out = append(out, a.Run(pkgs)...)
 	}
+	AssignSymbols(pkgs, out)
 	return out
 }
 

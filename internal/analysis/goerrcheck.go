@@ -3,7 +3,9 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/constant"
 	"go/types"
+	"strings"
 )
 
 // ErrCheckScope lists the packages where a silently discarded error is a
@@ -19,21 +21,31 @@ var ErrCheckScope = []string{
 // result is dropped on the floor. Only bare expression statements are
 // flagged: an explicit `_ =` assignment is a visible, reviewable decision,
 // and strings.Builder/bytes.Buffer writers (whose Write methods are
-// documented never to fail) are exempt.
+// documented never to fail) are exempt. Discards inside deferred closures
+// get their own message — a swallowed cleanup failure hides exactly the
+// write-back errors defer exists to handle.
+//
+// A second, repository-wide rule flags `defer f.Close()` on writable files:
+// Close is where buffered writes surface their errors, so deferring it on a
+// file opened with os.Create or a writable os.OpenFile silently loses data
+// corruption. Read-only files are exempt — their Close has nothing to
+// report.
 func ErrCheck() *GoAnalyzer { return ErrCheckFor(ErrCheckScope) }
 
-// ErrCheckFor scopes the errcheck analyzer to the given import paths.
+// ErrCheckFor scopes the expression-statement rule to the given import
+// paths; the deferred-Close-on-writable-file rule always runs over every
+// loaded package.
 func ErrCheckFor(scope []string) *GoAnalyzer {
 	return &GoAnalyzer{
 		Name: "errcheck",
-		Doc:  "error returns must not be silently discarded in benchmark and integration code",
+		Doc:  "error returns must not be silently discarded; no deferred Close on writable files",
 		Run: func(pkgs []*GoPackage) []Finding {
 			var out []Finding
 			for _, p := range pkgs {
-				if !inScope(p, scope) {
-					continue
+				out = append(out, runDeferClose(p)...)
+				if inScope(p, scope) {
+					out = append(out, runErrCheck(p)...)
 				}
-				out = append(out, runErrCheck(p)...)
 			}
 			return out
 		},
@@ -43,6 +55,7 @@ func ErrCheckFor(scope []string) *GoAnalyzer {
 func runErrCheck(p *GoPackage) []Finding {
 	var out []Finding
 	for _, f := range p.Files {
+		deferBodies := deferredClosureBodies(f)
 		ast.Inspect(f, func(n ast.Node) bool {
 			stmt, ok := n.(*ast.ExprStmt)
 			if !ok {
@@ -56,13 +69,131 @@ func runErrCheck(p *GoPackage) []Finding {
 			if !ok || !returnsError(tv.Type) || infallibleWriter(p, call) {
 				return true
 			}
+			msg := fmt.Sprintf("result of %s contains an error that is silently discarded", callName(p, call))
+			for _, body := range deferBodies {
+				if body.Pos() <= stmt.Pos() && stmt.Pos() < body.End() {
+					msg = fmt.Sprintf("result of %s contains an error that is silently discarded inside a deferred cleanup (cleanup failures must be reported)", callName(p, call))
+					break
+				}
+			}
 			file, line, col := p.Position(call.Pos())
 			out = append(out, Finding{Check: "errcheck", File: file, Line: line, Column: col,
-				Message: fmt.Sprintf("result of %s contains an error that is silently discarded", callName(p, call))})
+				Message: msg})
 			return true
 		})
 	}
 	return out
+}
+
+// deferredClosureBodies collects the bodies of function literals invoked
+// directly by a defer statement.
+func deferredClosureBodies(f *ast.File) []*ast.BlockStmt {
+	var out []*ast.BlockStmt
+	ast.Inspect(f, func(n ast.Node) bool {
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+			out = append(out, lit.Body)
+		}
+		return true
+	})
+	return out
+}
+
+// runDeferClose flags `defer f.Close()` on files the enclosing function
+// opened for writing.
+func runDeferClose(p *GoPackage) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil {
+				continue
+			}
+			writable := writableFiles(p, decl.Body)
+			if len(writable) == 0 {
+				continue
+			}
+			ast.Inspect(decl.Body, func(n ast.Node) bool {
+				ds, ok := n.(*ast.DeferStmt)
+				if !ok {
+					return true
+				}
+				sel, ok := ast.Unparen(ds.Call.Fun).(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Close" {
+					return true
+				}
+				id, ok := ast.Unparen(sel.X).(*ast.Ident)
+				if !ok || !writable[id.Name] {
+					return true
+				}
+				file, line, col := p.Position(ds.Pos())
+				out = append(out, Finding{Check: "errcheck", File: file, Line: line, Column: col,
+					Message: fmt.Sprintf("deferred Close on writable file %s discards the write-back error (close explicitly and check the error)", id.Name)})
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// writableFiles maps local identifiers to whether the function opened them
+// for writing: os.Create always, os.OpenFile when its flag argument has
+// O_WRONLY or O_RDWR set (resolved from the type checker's constant value
+// where possible, falling back to the flag expression's text).
+func writableFiles(p *GoPackage, body *ast.BlockStmt) map[string]bool {
+	out := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) == 0 || len(assign.Rhs) == 0 {
+			return true
+		}
+		call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obj := calleeOf(p.Info, call)
+		switch {
+		case isPkgFunc(obj, "os", "Create"):
+		case isPkgFunc(obj, "os", "OpenFile") && len(call.Args) >= 2 && writableFlags(p, call.Args[1]):
+		default:
+			return true
+		}
+		if id, ok := ast.Unparen(assign.Lhs[0]).(*ast.Ident); ok && id.Name != "_" {
+			out[id.Name] = true
+		}
+		return true
+	})
+	return out
+}
+
+// writableFlags decides whether an os.OpenFile flag argument requests write
+// access. os.O_WRONLY and os.O_RDWR are 1 and 2 on every platform.
+func writableFlags(p *GoPackage, flagArg ast.Expr) bool {
+	if tv, ok := p.Info.Types[flagArg]; ok && tv.Value != nil {
+		if v, ok := constant.Int64Val(tv.Value); ok {
+			return v&3 != 0
+		}
+	}
+	text := exprFlagText(flagArg)
+	return strings.Contains(text, "O_WRONLY") || strings.Contains(text, "O_RDWR") ||
+		strings.Contains(text, "O_APPEND")
+}
+
+// exprFlagText renders a flag expression's identifier names for the
+// non-constant fallback.
+func exprFlagText(e ast.Expr) string {
+	var b strings.Builder
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			b.WriteString(id.Name)
+			b.WriteByte('|')
+		}
+		return true
+	})
+	return b.String()
 }
 
 // returnsError reports whether a call result type carries an error (the

@@ -1,0 +1,169 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// GoLeak returns the analyzer that demands a termination path for every
+// spawned goroutine. The leak class it targets is the endless worker: a
+// `go` statement whose body spins in an unconditional `for { ... }` that
+// contains no way out — no return, and no break that actually exits the
+// loop (a break inside a nested select or switch exits only that select or
+// switch, the classic half-fixed version of this bug). Such a goroutine
+// outlives its run and accumulates across runs; tying its loop to
+// ctx.Done() or a done channel via a `return` is the fix.
+//
+// Loops with a condition, and `for range ch` over a channel (which ends
+// when the channel closes), count as terminating. Named functions launched
+// with `go f()` are resolved through the fact base and their bodies held to
+// the same rule; dynamic launches (`go fn()` on a function value) are out
+// of the static contract.
+//
+// Findings are warnings: the analyzer proves the absence of an exit
+// statement, not the absence of an exit in every execution, so it gates CI
+// only under -strict.
+func GoLeak() *GoAnalyzer { return goLeakFor(nil) }
+
+// goLeakFor scopes the goleak analyzer to the given import paths; nil
+// means every loaded package.
+func goLeakFor(scope []string) *GoAnalyzer {
+	return &GoAnalyzer{
+		Name: "goleak",
+		Doc:  "every spawned goroutine needs a reachable termination path",
+		RunFacts: func(fb *FactBase) []Finding {
+			var out []Finding
+			fb.All(func(ff *FuncFact) {
+				if scope != nil && !inScope(ff.Pkg, scope) {
+					return
+				}
+				ast.Inspect(ff.Decl.Body, func(n ast.Node) bool {
+					gostmt, ok := n.(*ast.GoStmt)
+					if !ok {
+						return true
+					}
+					body := goroutineBody(fb, ff.Pkg, gostmt)
+					if body == nil {
+						return true
+					}
+					for _, loop := range endlessLoops(body) {
+						file, line, col := ff.Pkg.Position(gostmt.Pos())
+						out = append(out, Finding{
+							Check: "goleak", Severity: SeverityWarning,
+							File: file, Line: line, Column: col,
+							Message: fmt.Sprintf("goroutine spawned in %s never terminates: infinite loop at line %d has no return or loop-exiting break (tie it to ctx.Done() or a done channel)",
+								ff.Decl.Name.Name, ff.Pkg.Fset.Position(loop.Pos()).Line),
+						})
+					}
+					return true
+				})
+			})
+			return out
+		},
+	}
+}
+
+// goroutineBody resolves the statement body a go statement runs: a func
+// literal's body directly, a statically-known named function's body through
+// the fact base, nil when the target is dynamic or external.
+func goroutineBody(fb *FactBase, p *GoPackage, g *ast.GoStmt) *ast.BlockStmt {
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		return lit.Body
+	}
+	if fn, ok := calleeOf(p.Info, g.Call).(*types.Func); ok {
+		if ff, ok := fb.Funcs[fn.FullName()]; ok {
+			return ff.Decl.Body
+		}
+	}
+	return nil
+}
+
+// endlessLoops returns the unconditional for-loops in body that have no
+// exit: no return statement, and no break whose innermost breakable
+// enclosure is the loop itself.
+func endlessLoops(body *ast.BlockStmt) []*ast.ForStmt {
+	var out []*ast.ForStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || loop.Cond != nil {
+			return true
+		}
+		if !loopHasExit(loop) {
+			out = append(out, loop)
+		}
+		return true
+	})
+	return out
+}
+
+// loopHasExit reports whether an unconditional loop contains a return, a
+// goto, or a break that exits it (unlabeled breaks nested inside an inner
+// for/range/switch/select do not count — they exit the inner construct).
+func loopHasExit(loop *ast.ForStmt) bool {
+	return stmtsExitLoop(loop.Body.List, true)
+}
+
+// stmtsExitLoop scans statements; breakable tracks whether an unlabeled
+// break here would exit the loop under test.
+func stmtsExitLoop(list []ast.Stmt, breakable bool) bool {
+	for _, s := range list {
+		if stmtExitsLoop(s, breakable) {
+			return true
+		}
+	}
+	return false
+}
+
+func stmtExitsLoop(s ast.Stmt, breakable bool) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		// A goto is taken to leave the loop. A labeled break exits some
+		// enclosing loop — possibly this one; count it. An unlabeled break
+		// counts only where the loop under test is still the innermost
+		// breakable construct.
+		switch s.Tok.String() {
+		case "goto":
+			return true
+		case "break":
+			return breakable || s.Label != nil
+		}
+		return false
+	case *ast.BlockStmt:
+		return stmtsExitLoop(s.List, breakable)
+	case *ast.IfStmt:
+		if stmtExitsLoop(s.Body, breakable) {
+			return true
+		}
+		if s.Else != nil {
+			return stmtExitsLoop(s.Else, breakable)
+		}
+	case *ast.ForStmt:
+		return stmtsExitLoop(s.Body.List, false)
+	case *ast.RangeStmt:
+		return stmtsExitLoop(s.Body.List, false)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok && stmtsExitLoop(cc.Body, false) {
+				return true
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok && stmtsExitLoop(cc.Body, false) {
+				return true
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && stmtsExitLoop(cc.Body, false) {
+				return true
+			}
+		}
+	case *ast.LabeledStmt:
+		return stmtExitsLoop(s.Stmt, breakable)
+	}
+	return false
+}

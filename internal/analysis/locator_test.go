@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// locator fixtures: a file embedding two query texts as the benchmark
+// source does, with the illustrative copy of q1 before the runnable one so
+// the last-occurrence rule is exercised.
+const locatorSrc = `package queries
+
+// Illustrative form, as the paper prints it:
+//
+//	for $c in Course where $c/Time > 10 return $c
+var doc = ` + "`for $c in Course where $c/Time > 10 return $c`" + `
+
+var q1 = ` + "`for $c in Course where $c/Time > 10 return $c`" + `
+
+var q2 = ` + "`for $s in Section\nwhere $s/CourseTime = \"early\"\nreturn $s`" + `
+`
+
+func newTestLocator() *Locator { return NewLocator("internal/benchmark/queries.go", locatorSrc) }
+
+func TestLocatorPositionLastOccurrence(t *testing.T) {
+	l := newTestLocator()
+	q := "for $c in Course where $c/Time > 10 return $c"
+	// The illustrative copy appears earlier (in the comment and in doc);
+	// Position must anchor to the final, runnable occurrence.
+	line, col := l.Position(q, "")
+	if line != 8 {
+		t.Errorf("query start line = %d, want 8 (the last occurrence)", line)
+	}
+	if col == 0 {
+		t.Errorf("query start column = 0, want a real column")
+	}
+}
+
+func TestLocatorPositionNeedle(t *testing.T) {
+	l := newTestLocator()
+	q := "for $c in Course where $c/Time > 10 return $c"
+	line, col := l.Position(q, "Time")
+	if line != 8 {
+		t.Errorf("needle line = %d, want 8", line)
+	}
+	wantCol := len("var q1 = `for $c in Course where $c/") + 1
+	if col != wantCol {
+		t.Errorf("needle column = %d, want %d", col, wantCol)
+	}
+}
+
+func TestLocatorWordBoundary(t *testing.T) {
+	l := newTestLocator()
+	// "Time" also occurs embedded in "CourseTime"; Find must prefer the
+	// word-delimited occurrence in q1 over the embedded one.
+	line, _ := l.Find("Time")
+	if line != 5 {
+		t.Errorf("Find(Time) line = %d, want 5 (first word-delimited occurrence)", line)
+	}
+	// A needle with no word-delimited occurrence falls back to plain Index.
+	line, _ = l.Find("ourseTim")
+	if line == 0 {
+		t.Error("Find fallback missed an embedded occurrence")
+	}
+}
+
+func TestLocatorPositionInQuery(t *testing.T) {
+	l := newTestLocator()
+	q := "for $s in Section\nwhere $s/CourseTime = \"early\"\nreturn $s"
+	// Line 1 of the query is on the file line that starts the literal, with
+	// the query's column offset added to the literal's start column.
+	line, col := l.PositionInQuery(q, 1, 5)
+	if line != 10 {
+		t.Errorf("qline 1 maps to file line %d, want 10", line)
+	}
+	startLine, startCol := l.Position(q, "")
+	if startLine != 10 || col != startCol+4 {
+		t.Errorf("qline 1 col = %d, want start %d + 4", col, startCol)
+	}
+	// Later query lines map 1:1 onto following file lines, columns verbatim.
+	line, col = l.PositionInQuery(q, 3, 8)
+	if line != 12 || col != 8 {
+		t.Errorf("qline 3 maps to %d:%d, want 12:8", line, col)
+	}
+}
+
+func TestLocatorAbsent(t *testing.T) {
+	l := newTestLocator()
+	if line, _ := l.Position("no such query text", "x"); line != 0 {
+		t.Errorf("absent query located at line %d, want 0", line)
+	}
+	if line, _ := l.Find("nosuchword"); line != 0 {
+		t.Errorf("absent needle located at line %d, want 0", line)
+	}
+	if line, _ := l.Find(""); line != 0 {
+		t.Errorf("empty needle located at line %d, want 0", line)
+	}
+}
+
+func TestLoadLocator(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "queries.go")
+	if err := os.WriteFile(path, []byte(locatorSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := LoadLocator(path, "display/queries.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Path() != "display/queries.go" {
+		t.Errorf("Path = %q, want the display path", l.Path())
+	}
+	if _, err := LoadLocator(filepath.Join(t.TempDir(), "absent.go"), "x"); err == nil {
+		t.Error("loading a missing file did not error")
+	}
+}

@@ -1,0 +1,397 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SystemInterface is the qualified name of the integration-system contract
+// the lock analyzer guards call boundaries against.
+const SystemInterface = "thalia/internal/integration.System"
+
+// LockDiscipline returns the analyzer that enforces the repository's lock
+// hygiene, in three parts:
+//
+//   - no sync.Mutex/RWMutex (or any type containing one, like sync.Once)
+//     may be copied by value: value receivers, by-value parameters, and
+//     plain assignments that copy an existing lock are flagged;
+//   - no lock may be held across a call into an integration.System method
+//     (Answer can block on catalog materialization and, under chaos, on
+//     injected latency — holding a lock across it serializes the engine
+//     and invites lock-ordering deadlocks);
+//   - no lock may be held across a channel send (an unbuffered or full
+//     channel blocks forever if the receiver needs the same lock).
+//
+// The held-lock tracking is a statement-ordered walk with a lock-set
+// lattice, not a full CFG: a lock taken inside a nested block is tracked
+// within that block and discarded at its end, so conditionally-taken locks
+// never poison the surrounding code. defer'd unlocks keep the lock held to
+// the end of the function — which is exactly when defer releases it.
+func LockDiscipline() *GoAnalyzer { return lockDisciplineFor(SystemInterface, nil) }
+
+// lockDisciplineFor parameterizes the guarded interface and package scope
+// (nil scope means every loaded package), for fixture tests.
+func lockDisciplineFor(iface string, scope []string) *GoAnalyzer {
+	return &GoAnalyzer{
+		Name: "lockdiscipline",
+		Doc:  "no lock copied by value or held across a System call or channel send",
+		RunFacts: func(fb *FactBase) []Finding {
+			sysIface := fb.LookupInterface(iface)
+			var out []Finding
+			fb.All(func(ff *FuncFact) {
+				if scope != nil && !inScope(ff.Pkg, scope) {
+					return
+				}
+				out = append(out, checkLockCopies(ff)...)
+				out = append(out, checkHeldLocks(ff, sysIface)...)
+			})
+			return out
+		},
+	}
+}
+
+// checkLockCopies flags value receivers, by-value parameters and copying
+// assignments whose type contains a lock.
+func checkLockCopies(ff *FuncFact) []Finding {
+	p := ff.Pkg
+	var out []Finding
+	add := func(pos ast.Node, format string, args ...interface{}) {
+		file, line, col := p.Position(pos.Pos())
+		out = append(out, Finding{Check: "lockdiscipline", File: file, Line: line, Column: col,
+			Message: fmt.Sprintf(format, args...)})
+	}
+	sig := ff.Obj.Type().(*types.Signature)
+	if recv := sig.Recv(); recv != nil {
+		if _, isPtr := recv.Type().(*types.Pointer); !isPtr && containsLock(recv.Type()) {
+			add(ff.Decl.Name, "method %s has a value receiver of lock-bearing type %s (use a pointer receiver)",
+				ff.Decl.Name.Name, recv.Type())
+		}
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		prm := sig.Params().At(i)
+		if _, isPtr := prm.Type().(*types.Pointer); !isPtr && containsLock(prm.Type()) {
+			add(ff.Decl.Name, "parameter %s of %s passes lock-bearing type %s by value",
+				prm.Name(), ff.Decl.Name.Name, prm.Type())
+		}
+	}
+	ast.Inspect(ff.Decl.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, rhs := range assign.Rhs {
+			if !copiesExistingValue(rhs) {
+				continue
+			}
+			if tv, ok := p.Info.Types[rhs]; ok && containsLock(tv.Type) {
+				add(rhs, "assignment copies a value of lock-bearing type %s (copy a pointer instead)", tv.Type)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// copiesExistingValue reports whether an expression reads an existing value
+// (so assigning it copies a live lock), as opposed to constructing a fresh
+// one (composite literal, function call) whose lock has never been used.
+func copiesExistingValue(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr:
+		return true
+	case *ast.StarExpr:
+		return true
+	case *ast.UnaryExpr:
+		return false // &x takes a pointer, no copy
+	default:
+		_ = e
+		return false
+	}
+}
+
+// containsLock reports whether t embeds a sync.Mutex or sync.RWMutex by
+// value, directly or through struct fields and arrays.
+func containsLock(t types.Type) bool {
+	return containsLockSeen(t, map[types.Type]bool{})
+}
+
+func containsLockSeen(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+			(obj.Name() == "Mutex" || obj.Name() == "RWMutex") {
+			return true
+		}
+		return containsLockSeen(named.Underlying(), seen)
+	}
+	switch t := t.(type) {
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if containsLockSeen(t.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLockSeen(t.Elem(), seen)
+	}
+	return false
+}
+
+// checkHeldLocks walks the function's statements in order, tracking which
+// locks are held, and flags System-method calls and channel sends made
+// under a lock.
+func checkHeldLocks(ff *FuncFact, sysIface *types.Interface) []Finding {
+	w := &lockWalker{ff: ff, iface: sysIface}
+	w.stmts(ff.Decl.Body.List, map[string]bool{})
+	return w.out
+}
+
+type lockWalker struct {
+	ff    *FuncFact
+	iface *types.Interface
+	out   []Finding
+}
+
+func (w *lockWalker) add(pos ast.Node, format string, args ...interface{}) {
+	file, line, col := w.ff.Pkg.Position(pos.Pos())
+	w.out = append(w.out, Finding{Check: "lockdiscipline", File: file, Line: line, Column: col,
+		Message: fmt.Sprintf(format, args...)})
+}
+
+// stmts processes a statement list with the current held-lock set. Nested
+// blocks get a copy of the set: what they lock or unlock internally stays
+// internal, which keeps the tracking conservative for the enclosing code.
+func (w *lockWalker) stmts(list []ast.Stmt, held map[string]bool) {
+	for _, s := range list {
+		w.stmt(s, held)
+	}
+}
+
+func (w *lockWalker) stmt(s ast.Stmt, held map[string]bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if recv, op, ok := lockOp(w.ff.Pkg, s.X); ok {
+			switch op {
+			case "Lock", "RLock":
+				held[recv] = true
+			case "Unlock", "RUnlock":
+				delete(held, recv)
+			}
+			return
+		}
+		w.checkExpr(s.X, held)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps mu held until the function returns, so
+		// the held set is unchanged; other defers are checked against the
+		// current set (they run later, but flagging a System call captured
+		// under a still-held lock is the conservative reading).
+		if _, op, ok := lockOp(w.ff.Pkg, s.Call); ok && strings.HasSuffix(op, "Unlock") {
+			return
+		}
+		w.checkExpr(s.Call, held)
+	case *ast.SendStmt:
+		w.flagSendUnder(s, held)
+		w.checkExpr(s.Value, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.checkExpr(e, held)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.checkExpr(e, held)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		w.checkExpr(s.Cond, held)
+		w.stmts(s.Body.List, copyHeld(held))
+		if s.Else != nil {
+			w.stmt(s.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		w.stmts(s.Body.List, copyHeld(held))
+	case *ast.RangeStmt:
+		w.checkExpr(s.X, held)
+		w.stmts(s.Body.List, copyHeld(held))
+	case *ast.BlockStmt:
+		w.stmts(s.List, copyHeld(held))
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				if send, ok := cc.Comm.(*ast.SendStmt); ok {
+					w.flagSendUnder(send, held)
+				}
+				w.stmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.GoStmt:
+		// The spawned goroutine runs concurrently and does not inherit the
+		// caller's held locks.
+	}
+}
+
+func (w *lockWalker) flagSendUnder(s *ast.SendStmt, held map[string]bool) {
+	for _, lock := range sortedKeys(held) {
+		w.add(s, "channel send while holding %s in %s (a blocked receiver deadlocks the lock)", lock, w.ff.Decl.Name.Name)
+	}
+}
+
+// checkExpr flags System-interface method calls made while any lock is
+// held; it recurses into call arguments but not into function literals
+// (those run later, with their own lock state).
+func (w *lockWalker) checkExpr(e ast.Expr, held map[string]bool) {
+	if e == nil || len(held) == 0 {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, ok := w.systemCall(call); ok {
+			for _, lock := range sortedKeys(held) {
+				w.add(call, "call into integration.System method %s while holding %s in %s (move the call outside the critical section)",
+					name, lock, w.ff.Decl.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+// systemCall reports whether a call dispatches to a method of the guarded
+// System interface — either through the interface itself or on a concrete
+// type implementing it.
+func (w *lockWalker) systemCall(call *ast.CallExpr) (string, bool) {
+	if w.iface == nil {
+		return "", false
+	}
+	fn, ok := calleeOf(w.ff.Pkg.Info, call).(*types.Func)
+	if !ok {
+		return "", false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	if !ifaceHasMethod(w.iface, fn.Name()) {
+		return "", false
+	}
+	recv := sig.Recv().Type()
+	if types.Implements(recv, w.iface) || types.Implements(types.NewPointer(recv), w.iface) {
+		return fn.Name(), true
+	}
+	if named, ok := recv.(*types.Named); ok {
+		if iface, ok := named.Underlying().(*types.Interface); ok && types.Implements(iface, w.iface) {
+			return fn.Name(), true
+		}
+	}
+	return "", false
+}
+
+func ifaceHasMethod(iface *types.Interface, name string) bool {
+	for i := 0; i < iface.NumMethods(); i++ {
+		if iface.Method(i).Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+// lockOp recognizes mu.Lock()/RLock()/Unlock()/RUnlock() expression
+// statements on a sync.Mutex or RWMutex and returns the receiver's source
+// text as the lock's identity.
+func lockOp(p *GoPackage, e ast.Expr) (recv, op string, ok bool) {
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	tv, okT := p.Info.Types[sel.X]
+	if !okT {
+		return "", "", false
+	}
+	t := tv.Type
+	if ptr, isPtr := t.(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return "", "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" ||
+		(obj.Name() != "Mutex" && obj.Name() != "RWMutex") {
+		return "", "", false
+	}
+	return lockExprText(sel.X), sel.Sel.Name, true
+}
+
+// lockExprText renders a lock receiver expression for messages and identity.
+func lockExprText(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return lockExprText(e.X) + "." + e.Sel.Name
+	case *ast.StarExpr:
+		return lockExprText(e.X)
+	case *ast.IndexExpr:
+		return lockExprText(e.X) + "[...]"
+	case *ast.CallExpr:
+		return lockExprText(e.Fun) + "()"
+	default:
+		return "lock"
+	}
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	// Insertion sort: held-lock sets are tiny.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

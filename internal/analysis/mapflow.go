@@ -1,0 +1,341 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MapFlowScope lists the packages whose serialized output must not inherit
+// map iteration order from a helper: the determinism scope of the v1
+// analyzer plus the benchmark (scorecard rows), explain (traces) and
+// website (rendered pages) layers the ROADMAP's byte-identical contracts
+// cover.
+var MapFlowScope = []string{
+	"thalia/internal/catalog",
+	"thalia/internal/tess",
+	"thalia/internal/integration",
+	"thalia/internal/benchmark",
+	"thalia/internal/explain",
+	"thalia/internal/website",
+}
+
+// MapFlow is determinism v2: the interprocedural companion to the v1
+// map-order analyzer. v1 flags a map range whose own function emits ordered
+// output; it is blind to the helper split — a producer function that
+// returns map-iteration-ordered data, and a consumer in another function
+// that serializes it. MapFlow closes that hole:
+//
+//  1. It computes the set of map-ordered producers: functions that return a
+//     slice populated by ranging over a map without sorting, plus (to a
+//     fixed point over the call graph) functions that pass such a result
+//     through unsorted.
+//  2. In the scoped packages, it flags any call to a producer whose result
+//     reaches an ordered sink — a Write*/Fprint*/Sprint* call,
+//     strings.Join, a JSON/XML encoder, an append — inside a function that
+//     never sorts.
+//
+// Sorting anywhere in the consuming function clears it, the same
+// collect-then-sort convention the v1 analyzer accepts.
+func MapFlow() *GoAnalyzer { return mapFlowFor(MapFlowScope) }
+
+// mapFlowFor scopes the consumer check to the given import paths; nil
+// means every loaded package. Producer detection is always whole-program.
+func mapFlowFor(scope []string) *GoAnalyzer {
+	return &GoAnalyzer{
+		Name: "mapflow",
+		Doc:  "map-iteration-ordered values must be sorted before serialized output",
+		RunFacts: func(fb *FactBase) []Finding {
+			producers := mapOrderedProducers(fb)
+			var out []Finding
+			fb.All(func(ff *FuncFact) {
+				if scope != nil && !inScope(ff.Pkg, scope) {
+					return
+				}
+				if producers[ff.Key] {
+					// The producer itself is not the defect; consuming its
+					// output unsorted is.
+					return
+				}
+				out = append(out, checkMapFlowConsumer(ff, producers)...)
+			})
+			return out
+		},
+	}
+}
+
+// mapOrderedProducers computes, to a fixed point, the functions whose
+// return value carries map iteration order.
+func mapOrderedProducers(fb *FactBase) map[string]bool {
+	producers := map[string]bool{}
+	fb.All(func(ff *FuncFact) {
+		if directMapOrderedProducer(ff) {
+			producers[ff.Key] = true
+		}
+	})
+	// Propagate through return-a-producer's-result-unsorted wrappers.
+	for changed := true; changed; {
+		changed = false
+		fb.All(func(ff *FuncFact) {
+			if producers[ff.Key] || functionSorts(ff.Pkg, ff.Decl) {
+				return
+			}
+			for _, callee := range returnedCallees(ff) {
+				if producers[callee] {
+					producers[ff.Key] = true
+					changed = true
+					return
+				}
+			}
+		})
+	}
+	return producers
+}
+
+// directMapOrderedProducer reports whether a function builds its returned
+// slice by appending inside a range over a map, without sorting anywhere.
+func directMapOrderedProducer(ff *FuncFact) bool {
+	sig := ff.Obj.Type().(*types.Signature)
+	if sig.Results().Len() == 0 {
+		return false
+	}
+	returnsSlice := false
+	for i := 0; i < sig.Results().Len(); i++ {
+		if _, ok := sig.Results().At(i).Type().Underlying().(*types.Slice); ok {
+			returnsSlice = true
+		}
+	}
+	if !returnsSlice || functionSorts(ff.Pkg, ff.Decl) {
+		return false
+	}
+	// Idents appended to inside a map range...
+	appended := map[string]bool{}
+	ast.Inspect(ff.Decl.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := ff.Pkg.Info.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		ast.Inspect(rng.Body, func(m ast.Node) bool {
+			assign, ok := m.(*ast.AssignStmt)
+			if !ok || len(assign.Lhs) != 1 {
+				return true
+			}
+			call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if b, ok := calleeOf(ff.Pkg.Info, call).(*types.Builtin); !ok || b.Name() != "append" {
+				return true
+			}
+			if id, ok := ast.Unparen(assign.Lhs[0]).(*ast.Ident); ok {
+				appended[id.Name] = true
+			}
+			return true
+		})
+		return true
+	})
+	if len(appended) == 0 {
+		return false
+	}
+	// ...that reach a return statement.
+	leaks := false
+	ast.Inspect(ff.Decl.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			ast.Inspect(res, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && appended[id.Name] {
+					leaks = true
+				}
+				return !leaks
+			})
+		}
+		return !leaks
+	})
+	return leaks
+}
+
+// returnedCallees lists the statically-resolved callees whose result can
+// reach one of ff's return statements: calls returned directly, and calls
+// assigned to an identifier that some return mentions.
+func returnedCallees(ff *FuncFact) []string {
+	assigned := map[string][]string{} // ident -> callee keys assigned to it
+	var direct []string
+	returnedIdents := map[string]bool{}
+	ast.Inspect(ff.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				fn, ok := calleeOf(ff.Pkg.Info, call).(*types.Func)
+				if !ok {
+					continue
+				}
+				if i < len(n.Lhs) {
+					if id, ok := ast.Unparen(n.Lhs[i]).(*ast.Ident); ok {
+						assigned[id.Name] = append(assigned[id.Name], fn.FullName())
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if call, ok := ast.Unparen(res).(*ast.CallExpr); ok {
+					if fn, ok := calleeOf(ff.Pkg.Info, call).(*types.Func); ok {
+						direct = append(direct, fn.FullName())
+					}
+					continue
+				}
+				ast.Inspect(res, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok {
+						returnedIdents[id.Name] = true
+					}
+					return true
+				})
+			}
+		}
+		return true
+	})
+	out := direct
+	for id, callees := range assigned {
+		if returnedIdents[id] {
+			out = append(out, callees...)
+		}
+	}
+	return out
+}
+
+// checkMapFlowConsumer flags producer calls in ff whose result reaches an
+// ordered sink, directly or through one local variable.
+func checkMapFlowConsumer(ff *FuncFact, producers map[string]bool) []Finding {
+	if functionSorts(ff.Pkg, ff.Decl) {
+		return nil
+	}
+	p := ff.Pkg
+	// tainted maps a local identifier to the producer call position that
+	// filled it.
+	type source struct {
+		node ast.Node
+		name string
+	}
+	tainted := map[string]source{}
+	var out []Finding
+	reported := map[ast.Node]bool{}
+	report := func(src source) {
+		if reported[src.node] {
+			return
+		}
+		reported[src.node] = true
+		file, line, col := p.Position(src.node.Pos())
+		out = append(out, Finding{Check: "mapflow", File: file, Line: line, Column: col,
+			Message: fmt.Sprintf("map-iteration-ordered result of %s flows into serialized output in %s without a sort", src.name, ff.Decl.Name.Name)})
+	}
+	producerCall := func(e ast.Expr) (source, bool) {
+		call, ok := ast.Unparen(e).(*ast.CallExpr)
+		if !ok {
+			return source{}, false
+		}
+		fn, ok := calleeOf(p.Info, call).(*types.Func)
+		if !ok || !producers[fn.FullName()] {
+			return source{}, false
+		}
+		return source{node: call, name: fn.Name()}, true
+	}
+	// Pass 1: record local variables assigned from producer calls.
+	ast.Inspect(ff.Decl.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range assign.Rhs {
+			src, ok := producerCall(rhs)
+			if !ok || i >= len(assign.Lhs) {
+				continue
+			}
+			if id, ok := ast.Unparen(assign.Lhs[i]).(*ast.Ident); ok && id.Name != "_" {
+				tainted[id.Name] = src
+			}
+		}
+		return true
+	})
+	// Pass 2: find sinks fed by producer calls or tainted variables.
+	ast.Inspect(ff.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if !orderedSink(p, n) {
+				return true
+			}
+			for _, arg := range n.Args {
+				if src, ok := producerCall(arg); ok {
+					report(src)
+					continue
+				}
+				ast.Inspect(arg, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok {
+						if src, ok := tainted[id.Name]; ok {
+							report(src)
+						}
+					}
+					return true
+				})
+			}
+		case *ast.RangeStmt:
+			// Ranging over a tainted slice and emitting per-element output
+			// serializes the tainted order too.
+			id, ok := ast.Unparen(n.X).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			src, ok := tainted[id.Name]
+			if !ok {
+				return true
+			}
+			if emitsOrderedOutput(p, n.Body) {
+				report(src)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// orderedSink recognizes calls that serialize their arguments in order:
+// Write*/String-building methods, fmt print/format functions, strings.Join,
+// JSON/XML marshalling and the append builtin.
+func orderedSink(p *GoPackage, call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if b, ok := p.Info.Uses[fun].(*types.Builtin); ok && b.Name() == "append" {
+			return true
+		}
+	case *ast.SelectorExpr:
+		if strings.HasPrefix(fun.Sel.Name, "Write") {
+			return true
+		}
+		obj := calleeOf(p.Info, call)
+		if obj == nil || obj.Pkg() == nil {
+			return false
+		}
+		switch obj.Pkg().Path() {
+		case "fmt":
+			return strings.HasPrefix(obj.Name(), "Fprint") || strings.HasPrefix(obj.Name(), "Sprint") || strings.HasPrefix(obj.Name(), "Print")
+		case "strings":
+			return obj.Name() == "Join"
+		case "encoding/json", "encoding/xml":
+			return strings.HasPrefix(obj.Name(), "Marshal") || obj.Name() == "Encode"
+		}
+	}
+	return false
+}

@@ -1,0 +1,157 @@
+package analysis
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// SARIF 2.1.0 output
+//
+// thalia-vet's findings have always been text and JSON for humans and
+// scripts; SARIF is the third head, for machines that already speak it —
+// code-scanning UIs, IDE gutters, CI annotation layers. The subset emitted
+// here is deliberately small: one run, one driver, the rule table, and one
+// result per finding with a physical location and the finding's stable ID
+// as a partial fingerprint (the same identity the baseline ratchet keys
+// on, so a SARIF consumer's dedup agrees with thalia-vet's own).
+
+// sarifLog is the document root.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID              string             `json:"ruleId"`
+	Level               string             `json:"level"`
+	Message             sarifMessage       `json:"message"`
+	Locations           []sarifLocation    `json:"locations,omitempty"`
+	PartialFingerprints map[string]string  `json:"partialFingerprints,omitempty"`
+	Suppressions        []sarifSuppression `json:"suppressions,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+	LogicalLocations []sarifLogicalLoc     `json:"logicalLocations,omitempty"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           *sarifRegion          `json:"region,omitempty"`
+}
+
+type sarifArtifactLocation struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId,omitempty"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+type sarifLogicalLoc struct {
+	FullyQualifiedName string `json:"fullyQualifiedName"`
+}
+
+type sarifSuppression struct {
+	Kind          string `json:"kind"`
+	Justification string `json:"justification,omitempty"`
+}
+
+// SARIF renders the report as a SARIF 2.1.0 log. docs supplies the rule
+// table (AllCheckDocs of the analyzer set that ran); baselined marks
+// finding IDs that are suppressed by the committed baseline, so consumers
+// show them as such instead of as new results. Output is deterministic:
+// results follow the report's sorted order and the rule table is sorted by
+// rule ID.
+func (r *Report) SARIF(docs []CheckDoc, baselined map[string]bool) ([]byte, error) {
+	rules := make([]sarifRule, 0, len(docs))
+	seen := map[string]bool{}
+	for _, d := range docs {
+		if seen[d.Name] {
+			continue
+		}
+		seen[d.Name] = true
+		rules = append(rules, sarifRule{ID: d.Name, ShortDescription: sarifMessage{Text: d.Doc}})
+	}
+	// Findings can carry checks the doc table missed; emit a rule for them
+	// anyway so every result's ruleId resolves.
+	for _, f := range r.Findings {
+		if !seen[f.Check] {
+			seen[f.Check] = true
+			rules = append(rules, sarifRule{ID: f.Check, ShortDescription: sarifMessage{Text: f.Check}})
+		}
+	}
+	sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
+
+	results := make([]sarifResult, 0, len(r.Findings))
+	for _, f := range r.Findings {
+		res := sarifResult{
+			RuleID:  f.Check,
+			Level:   f.EffectiveSeverity(),
+			Message: sarifMessage{Text: f.String()},
+		}
+		if f.ID != "" {
+			res.PartialFingerprints = map[string]string{"thaliaVetFindingId/v1": f.ID}
+		}
+		if f.File != "" {
+			loc := sarifLocation{PhysicalLocation: sarifPhysicalLocation{
+				ArtifactLocation: sarifArtifactLocation{URI: f.File, URIBaseID: "SRCROOT"},
+			}}
+			if f.Line > 0 {
+				loc.PhysicalLocation.Region = &sarifRegion{StartLine: f.Line, StartColumn: f.Column}
+			}
+			if f.Symbol != "" {
+				loc.LogicalLocations = []sarifLogicalLoc{{FullyQualifiedName: f.Symbol}}
+			}
+			res.Locations = []sarifLocation{loc}
+		}
+		if baselined[f.ID] {
+			res.Suppressions = []sarifSuppression{{
+				Kind:          "external",
+				Justification: "accepted by vet.baseline.json; remove the baseline entry to re-arm",
+			}}
+		}
+		results = append(results, res)
+	}
+
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "thalia-vet", Rules: rules}},
+			Results: results,
+		}},
+	}
+	b, err := json.MarshalIndent(log, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

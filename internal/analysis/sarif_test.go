@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestSARIFRendering decodes the emitted log and pins the fields downstream
+// consumers key on: schema and version, the rule table, result levels, the
+// stable-ID fingerprint, and the baseline suppression marking.
+func TestSARIFRendering(t *testing.T) {
+	rep := &Report{Findings: []Finding{
+		{Check: "ctxflow", File: "a/a.go", Line: 10, Column: 3, Symbol: "a.F", Message: "detached ctx"},
+		{Check: "goleak", Severity: SeverityWarning, File: "b/b.go", Line: 5, Column: 1, Symbol: "b.G", Message: "endless worker"},
+	}}
+	rep.Finalize()
+	docs := []CheckDoc{{"goleak", "goroutines terminate"}, {"ctxflow", "ctx flows"}}
+	baselined := map[string]bool{rep.Findings[1].ID: true}
+
+	out, err := rep.SARIF(docs, baselined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID              string            `json:"ruleId"`
+				Level               string            `json:"level"`
+				PartialFingerprints map[string]string `json:"partialFingerprints"`
+				Suppressions        []struct {
+					Kind string `json:"kind"`
+				} `json:"suppressions"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI       string `json:"uri"`
+							URIBaseID string `json:"uriBaseId"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+					LogicalLocations []struct {
+						FullyQualifiedName string `json:"fullyQualifiedName"`
+					} `json:"logicalLocations"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(out, &log); err != nil {
+		t.Fatalf("emitted SARIF does not decode: %v", err)
+	}
+	if log.Version != "2.1.0" || log.Schema == "" {
+		t.Errorf("version = %q, schema = %q", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "thalia-vet" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	// Rule table is sorted by ID regardless of docs order.
+	for i := 1; i < len(run.Tool.Driver.Rules); i++ {
+		if run.Tool.Driver.Rules[i-1].ID >= run.Tool.Driver.Rules[i].ID {
+			t.Errorf("rule table not sorted: %q before %q", run.Tool.Driver.Rules[i-1].ID, run.Tool.Driver.Rules[i].ID)
+		}
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(run.Results))
+	}
+	first, second := run.Results[0], run.Results[1]
+	if first.RuleID != "ctxflow" || first.Level != "error" {
+		t.Errorf("result 0 = %s/%s, want ctxflow/error", first.RuleID, first.Level)
+	}
+	if second.RuleID != "goleak" || second.Level != "warning" {
+		t.Errorf("result 1 = %s/%s, want goleak/warning", second.RuleID, second.Level)
+	}
+	if first.PartialFingerprints["thaliaVetFindingId/v1"] != rep.Findings[0].ID {
+		t.Errorf("fingerprint = %v, want the finding's stable ID", first.PartialFingerprints)
+	}
+	if len(first.Suppressions) != 0 {
+		t.Errorf("fresh finding carries suppressions: %v", first.Suppressions)
+	}
+	if len(second.Suppressions) != 1 || second.Suppressions[0].Kind != "external" {
+		t.Errorf("baselined finding suppressions = %v, want one external", second.Suppressions)
+	}
+	loc := first.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "a/a.go" || loc.ArtifactLocation.URIBaseID != "SRCROOT" || loc.Region.StartLine != 10 {
+		t.Errorf("physical location = %+v", loc)
+	}
+	if first.Locations[0].LogicalLocations[0].FullyQualifiedName != "a.F" {
+		t.Errorf("logical location = %+v", first.Locations[0].LogicalLocations)
+	}
+}
+
+// TestSARIFDeterministic: identical reports must serialize identically, so
+// CI artifact diffs mean something.
+func TestSARIFDeterministic(t *testing.T) {
+	rep := &Report{Findings: []Finding{
+		{Check: "mapflow", File: "a/a.go", Line: 1, Symbol: "a.F", Message: "m"},
+	}}
+	rep.Finalize()
+	docs := AllCheckDocs(DefaultGoAnalyzers())
+	a, err := rep.SARIF(docs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := rep.SARIF(docs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("SARIF output differs across identical renders")
+	}
+	if !bytes.HasSuffix(a, []byte("\n")) {
+		t.Error("SARIF output lacks a trailing newline")
+	}
+}

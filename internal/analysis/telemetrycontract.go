@@ -1,0 +1,262 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// TelemetryPath is the import path of the repository's metrics registry.
+const TelemetryPath = "thalia/internal/telemetry"
+
+// TelemetryContract returns the analyzer that bounds metric label
+// cardinality. The telemetry registry creates one series per distinct
+// (name, labels) tuple and keeps it for the registry's lifetime, so a
+// label drawn from an unbounded domain — an error string, a raw URL path,
+// anything a caller can vary per request — is a memory leak and a scrape
+// explosion wearing a metrics API.
+//
+// The analyzer inspects every label that reaches a Registry method
+// (Counter, Gauge, Histogram, HistogramBuckets), whether built inline with
+// telemetry.L or bound to a local variable first, and flags label values
+// derived from unbounded sources:
+//
+//   - err.Error() or any expression of type error;
+//   - fields of net/http.Request or net/url.URL (Path, RawQuery, Host...),
+//     which callers control per request — route them through a finite
+//     normalizer (like website.routeLabel) first;
+//   - fmt.Sprint*/Sprintf whose arguments include either of the above.
+//
+// Finite sources — literals, constants, Name() methods, strconv of small
+// ints — pass. This is a blacklist, not a whitelist: a plain string
+// parameter is accepted, because the finite set it is drawn from (system
+// names, query labels) is the caller's contract, checked at the caller's
+// own label sites.
+func TelemetryContract() *GoAnalyzer { return telemetryContractFor(TelemetryPath, nil) }
+
+// telemetryContractFor parameterizes the registry's import path and the
+// package scope (nil means every loaded package), for fixture tests.
+func telemetryContractFor(telemetryPath string, scope []string) *GoAnalyzer {
+	return &GoAnalyzer{
+		Name: "telemetrycontract",
+		Doc:  "metric labels must have bounded cardinality (no errors or URLs as values)",
+		RunFacts: func(fb *FactBase) []Finding {
+			var out []Finding
+			fb.All(func(ff *FuncFact) {
+				if scope != nil && !inScope(ff.Pkg, scope) {
+					return
+				}
+				out = append(out, checkTelemetryLabels(ff, telemetryPath)...)
+			})
+			return out
+		},
+	}
+}
+
+// registryMethods are the Registry entry points whose label arguments are
+// series keys.
+var registryMethods = map[string]bool{
+	"Counter": true, "Gauge": true, "Histogram": true, "HistogramBuckets": true,
+}
+
+// checkTelemetryLabels inspects one function's metric registration sites.
+func checkTelemetryLabels(ff *FuncFact, telemetryPath string) []Finding {
+	p := ff.Pkg
+	// labelVars maps local variables to the telemetry.L call that built
+	// them, so `sys := telemetry.L(...); reg.Counter(n, sys)` is checked at
+	// the registration site like an inline label.
+	labelVars := map[string]*ast.CallExpr{}
+	ast.Inspect(ff.Decl.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range assign.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || !isLabelCtor(p, call, telemetryPath) || i >= len(assign.Lhs) {
+				continue
+			}
+			if id, ok := ast.Unparen(assign.Lhs[i]).(*ast.Ident); ok && id.Name != "_" {
+				labelVars[id.Name] = call
+			}
+		}
+		return true
+	})
+
+	var out []Finding
+	ast.Inspect(ff.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isRegistryCall(p, call, telemetryPath) {
+			return true
+		}
+		for _, arg := range call.Args {
+			ctor := labelCtorOf(p, arg, telemetryPath, labelVars)
+			if ctor == nil || len(ctor.Args) < 2 {
+				continue
+			}
+			key := labelKeyText(ctor.Args[0])
+			if reason := unboundedSource(p, ctor.Args[1]); reason != "" {
+				file, line, col := p.Position(ctor.Args[1].Pos())
+				out = append(out, Finding{Check: "telemetrycontract", File: file, Line: line, Column: col,
+					Message: fmt.Sprintf("metric label %s registered in %s takes its value from %s; label cardinality must be bounded (draw values from a finite set like system or query names)",
+						key, ff.Decl.Name.Name, reason)})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isRegistryCall reports whether a call is a Registry metric method of the
+// telemetry package.
+func isRegistryCall(p *GoPackage, call *ast.CallExpr, telemetryPath string) bool {
+	fn, ok := calleeOf(p.Info, call).(*types.Func)
+	if !ok || !registryMethods[fn.Name()] {
+		return false
+	}
+	return fn.Pkg() != nil && fn.Pkg().Path() == telemetryPath
+}
+
+// isLabelCtor reports whether a call is telemetry.L (or the Label-building
+// function of the configured package).
+func isLabelCtor(p *GoPackage, call *ast.CallExpr, telemetryPath string) bool {
+	fn, ok := calleeOf(p.Info, call).(*types.Func)
+	if !ok || fn.Name() != "L" {
+		return false
+	}
+	return fn.Pkg() != nil && fn.Pkg().Path() == telemetryPath
+}
+
+// labelCtorOf resolves a registry-call argument to the telemetry.L call
+// that built it: inline, or through a local variable recorded earlier.
+func labelCtorOf(p *GoPackage, arg ast.Expr, telemetryPath string, labelVars map[string]*ast.CallExpr) *ast.CallExpr {
+	switch e := ast.Unparen(arg).(type) {
+	case *ast.CallExpr:
+		if isLabelCtor(p, e, telemetryPath) {
+			return e
+		}
+	case *ast.Ident:
+		return labelVars[e.Name]
+	}
+	return nil
+}
+
+// labelKeyText renders a label key argument for the finding message.
+func labelKeyText(e ast.Expr) string {
+	if lit, ok := ast.Unparen(e).(*ast.BasicLit); ok {
+		return lit.Value
+	}
+	return "value"
+}
+
+// unboundedSource names the unbounded source a label-value expression is
+// derived from, "" when none is found. The recursion is deliberate about
+// call boundaries: fmt formatters and type conversions pass taint through
+// from their arguments, but any other named function call is treated as a
+// sanitizing boundary — a normalizer like website.routeLabel exists exactly
+// to map an unbounded input onto a finite label set, and the analyzer must
+// not see through it.
+func unboundedSource(p *GoPackage, e ast.Expr) string {
+	e = ast.Unparen(e)
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		fn, ok := calleeOf(p.Info, e).(*types.Func)
+		if ok && fn.Name() == "Error" && implementsError(recvType(fn)) {
+			return "err.Error()"
+		}
+		// string(x) and other conversions are transparent.
+		if tv, ok := p.Info.Types[e.Fun]; ok && tv.IsType() {
+			for _, arg := range e.Args {
+				if r := unboundedSource(p, arg); r != "" {
+					return r
+				}
+			}
+			return ""
+		}
+		// fmt formatters concatenate their arguments into the label.
+		if ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			for _, arg := range e.Args {
+				if r := unboundedSource(p, arg); r != "" {
+					return r
+				}
+			}
+		}
+		// Any other call is a boundary: its contract, not its input,
+		// decides the label domain.
+		return ""
+	case *ast.SelectorExpr:
+		if tv, ok := p.Info.Types[e.X]; ok && fromRequestOrURL(tv.Type) {
+			return fmt.Sprintf("the per-request field %s", lockExprText(e))
+		}
+		if tv, ok := p.Info.Types[e]; ok && isErrorType(tv.Type) {
+			return "a value of type error"
+		}
+		return unboundedSource(p, e.X)
+	case *ast.Ident:
+		if tv, ok := p.Info.Types[e]; ok && isErrorType(tv.Type) {
+			return "a value of type error"
+		}
+	case *ast.BinaryExpr:
+		if r := unboundedSource(p, e.X); r != "" {
+			return r
+		}
+		return unboundedSource(p, e.Y)
+	case *ast.IndexExpr:
+		return unboundedSource(p, e.X)
+	case *ast.StarExpr:
+		return unboundedSource(p, e.X)
+	}
+	return ""
+}
+
+// recvType returns a method's receiver type, nil for plain functions.
+func recvType(fn *types.Func) types.Type {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	return sig.Recv().Type()
+}
+
+// implementsError reports whether t satisfies the error interface.
+func implementsError(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	errIface, ok := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	return types.Implements(t, errIface) || types.Implements(types.NewPointer(t), errIface)
+}
+
+// isErrorType reports whether t is exactly the error interface (values of
+// concrete error types are caught through their Error() call instead).
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error" {
+		return true
+	}
+	return t.String() == "error"
+}
+
+// fromRequestOrURL reports whether a selector base is an http.Request or
+// url.URL (or pointer to one): their string fields are caller-controlled.
+func fromRequestOrURL(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	full := obj.Pkg().Path() + "." + obj.Name()
+	return full == "net/http.Request" || full == "net/url.URL"
+}

@@ -1,0 +1,45 @@
+// Package ctxflow seeds the ctxflow analyzer's defect classes: a blocking
+// sleep inside a context-carrying function, and a detached context handed
+// to a context-taking callee — next to the correct forms it must accept.
+package ctxflow
+
+import (
+	"context"
+	"time"
+)
+
+func lookup(ctx context.Context, key string) string {
+	if ctx.Err() != nil {
+		return ""
+	}
+	return key
+}
+
+// SleepyPoll is a defect: time.Sleep ignores cancellation for the pause.
+func SleepyPoll(ctx context.Context) string {
+	time.Sleep(10 * time.Millisecond)
+	return lookup(ctx, "a")
+}
+
+// Detached is a defect: a fresh Background context severs cancellation.
+func Detached(ctx context.Context) string {
+	return lookup(context.Background(), "b")
+}
+
+// Todoed is a defect: context.TODO() mid-chain is the same severing.
+func Todoed(ctx context.Context) string {
+	return lookup(context.TODO(), "b2")
+}
+
+// Chained is fine: the caller's ctx flows through.
+func Chained(ctx context.Context) string { return lookup(ctx, "c") }
+
+// Derived is fine: a context derived from the caller's keeps cancellation.
+func Derived(ctx context.Context) string {
+	sub, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return lookup(sub, "d")
+}
+
+// NoCtx is fine: without a ctx parameter there is nothing to ignore.
+func NoCtx() { time.Sleep(time.Millisecond) }

@@ -1,0 +1,77 @@
+// Package errdefer seeds the errcheck v2 defect classes: errors discarded
+// inside deferred cleanup closures, and deferred Close on writable files —
+// next to the forms the analyzer must accept.
+package errdefer
+
+import (
+	"errors"
+	"os"
+)
+
+func cleanup() error { return errors.New("cleanup failed") }
+
+// DeferredDiscard is a defect: the closure swallows cleanup's error.
+func DeferredDiscard() error {
+	defer func() {
+		cleanup()
+	}()
+	return nil
+}
+
+// DeferredChecked is fine: the closure handles the error explicitly.
+func DeferredChecked() (err error) {
+	defer func() {
+		if cerr := cleanup(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	return nil
+}
+
+// WriteOut is a defect: deferring Close on a created file loses the
+// write-back error.
+func WriteOut(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.WriteString("data")
+	return err
+}
+
+// AppendLog is a defect: O_APPEND|O_WRONLY opens for writing too.
+func AppendLog(path string) error {
+	lf, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		return err
+	}
+	defer lf.Close()
+	_, err = lf.WriteString("line\n")
+	return err
+}
+
+// WriteOutChecked is fine: Close is called explicitly and checked.
+func WriteOutChecked(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString("data"); err != nil {
+		_ = f.Close() // the write error is the one worth reporting
+		return err
+	}
+	return f.Close()
+}
+
+// ReadIn is fine: a read-only file's Close has nothing to report.
+func ReadIn(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, 4)
+	n, err := f.Read(buf)
+	return buf[:n], err
+}

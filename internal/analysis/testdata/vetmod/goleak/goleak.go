@@ -1,0 +1,88 @@
+// Package goleak seeds the goleak analyzer's defect classes: goroutines
+// spinning in unconditional loops with no way out, including the classic
+// half-fix where a break exits only the inner select — next to loops with
+// genuine termination paths.
+package goleak
+
+import "context"
+
+func work() {}
+
+// SpinForever is a defect: the worker loop has no exit at all.
+func SpinForever() {
+	go func() {
+		for {
+			work()
+		}
+	}()
+}
+
+// HalfFixed is a defect: the break exits the select, not the loop.
+func HalfFixed(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				break
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// SpawnNamed is a defect: the named worker it launches never terminates.
+func SpawnNamed() { go namedWorker() }
+
+func namedWorker() {
+	for {
+		work()
+	}
+}
+
+// CtxBound is fine: the return on ctx.Done() ends the goroutine.
+func CtxBound(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// Labeled is fine: the labeled break exits the loop itself.
+func Labeled(ch chan int) {
+	go func() {
+	loop:
+		for {
+			select {
+			case <-ch:
+				break loop
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// Drain is fine: ranging over a channel ends when it closes.
+func Drain(ch chan int) {
+	go func() {
+		for range ch {
+			work()
+		}
+	}()
+}
+
+// Bounded is fine: a conditional loop is outside the endless-worker class.
+func Bounded(n int) {
+	go func() {
+		for i := 0; i < n; i++ {
+			work()
+		}
+	}()
+}

@@ -1,0 +1,54 @@
+// Package labels seeds the telemetrycontract analyzer's defect classes:
+// metric labels whose values come from unbounded domains (errors, raw URL
+// paths) — next to the bounded forms it must accept.
+package labels
+
+import (
+	"fmt"
+	"net/http"
+
+	"vetmod/telem"
+)
+
+// RecordErr is a defect: err.Error() has unbounded cardinality.
+func RecordErr(reg *telem.Registry, err error) {
+	reg.Counter("requests_failed", telem.L("reason", err.Error()))
+}
+
+// RecordErrFmt is a defect: the error rides into the label through Sprintf.
+func RecordErrFmt(reg *telem.Registry, err error) {
+	reg.Counter("requests_failed", telem.L("reason", fmt.Sprintf("err=%v", err)))
+}
+
+// RecordPath is a defect: a raw URL path is caller-controlled.
+func RecordPath(reg *telem.Registry, r *http.Request) {
+	reg.Counter("requests", telem.L("path", r.URL.Path))
+}
+
+// RecordVar is a defect: binding the label to a local first changes nothing.
+func RecordVar(reg *telem.Registry, r *http.Request) {
+	l := telem.L("path", r.URL.Path)
+	reg.Gauge("inflight", l)
+}
+
+// RecordHit is fine: a literal value is a one-element domain.
+func RecordHit(reg *telem.Registry) {
+	reg.Counter("hits", telem.L("source", "cache"))
+}
+
+// RecordRoute is fine: the normalizer maps the path onto a finite set.
+func RecordRoute(reg *telem.Registry, r *http.Request) {
+	reg.Counter("requests", telem.L("route", routeOf(r.URL.Path)))
+}
+
+func routeOf(p string) string {
+	if p == "/" {
+		return "root"
+	}
+	return "other"
+}
+
+// RecordSystem is fine: a plain string parameter is the caller's contract.
+func RecordSystem(reg *telem.Registry, system string) {
+	reg.Counter("answers", telem.L("system", system))
+}

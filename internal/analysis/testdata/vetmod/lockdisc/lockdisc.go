@@ -1,0 +1,63 @@
+// Package lockdisc seeds the lockdiscipline analyzer's defect classes:
+// locks copied by value, System calls made under a lock, and channel sends
+// made under a lock — next to the disciplined forms it must accept.
+package lockdisc
+
+import (
+	"sync"
+
+	"vetmod/sys"
+)
+
+// Guarded carries a mutex by value, so copying it copies the lock.
+type Guarded struct {
+	mu    sync.Mutex
+	cache map[string]int
+}
+
+// Snapshot is a defect: a value receiver copies the mutex on every call.
+func (g Guarded) Snapshot() int { return len(g.cache) }
+
+// Consume is a defect: a by-value parameter copies the caller's lock.
+func Consume(g Guarded) int { return len(g.cache) }
+
+// Clone is a defect: the assignment copies a live lock.
+func Clone(g *Guarded) int {
+	c := *g
+	return len(c.cache)
+}
+
+// AnswerUnderLock is a defect: the deferred unlock keeps mu held across the
+// System call in the return statement.
+func (g *Guarded) AnswerUnderLock(s sys.System, req sys.Request) (*sys.Answer, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return s.Answer(req)
+}
+
+// Publish is a defect: the send blocks while mu is held.
+func (g *Guarded) Publish(ch chan int) {
+	g.mu.Lock()
+	ch <- len(g.cache)
+	g.mu.Unlock()
+}
+
+// AnswerOutsideLock is fine: the lock is released before the System call.
+func (g *Guarded) AnswerOutsideLock(s sys.System, req sys.Request) (*sys.Answer, error) {
+	g.mu.Lock()
+	n := len(g.cache)
+	g.mu.Unlock()
+	_ = n
+	return s.Answer(req)
+}
+
+// PublishAfter is fine: the send happens after the unlock.
+func (g *Guarded) PublishAfter(ch chan int) {
+	g.mu.Lock()
+	n := len(g.cache)
+	g.mu.Unlock()
+	ch <- n
+}
+
+// Borrow is fine: pointers to lock-bearing values share, not copy.
+func Borrow(g *Guarded) *Guarded { return g }

@@ -1,0 +1,60 @@
+// Package mapflow seeds the interprocedural map-order defect: producer
+// helpers that return map-iteration-ordered slices, and consumers that
+// serialize those results with and without sorting.
+package mapflow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Keys is a map-ordered producer; its callers decide whether that is a bug.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Passthrough is a producer by propagation: it forwards Keys' result unsorted.
+func Passthrough(m map[string]int) []string { return Keys(m) }
+
+// SortedKeys is not a producer: it sorts before returning.
+func SortedKeys(m map[string]int) []string {
+	keys := Keys(m)
+	sort.Strings(keys)
+	return keys
+}
+
+// RenderDirect is a defect: the producer result feeds strings.Join directly.
+func RenderDirect(m map[string]int) string {
+	return strings.Join(Keys(m), ",")
+}
+
+// RenderVar is a defect: the tainted local reaches fmt.Sprint.
+func RenderVar(m map[string]int) string {
+	ks := Passthrough(m)
+	return fmt.Sprint(ks)
+}
+
+// RenderLoop is a defect: ranging over the tainted slice emits per element.
+func RenderLoop(m map[string]int) string {
+	var b strings.Builder
+	ks := Keys(m)
+	for _, k := range ks {
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+// RenderSorted is fine: the consumer sorts before serializing.
+func RenderSorted(m map[string]int) string {
+	ks := Keys(m)
+	sort.Strings(ks)
+	return strings.Join(ks, ",")
+}
+
+// Count is fine: len is order-insensitive.
+func Count(m map[string]int) int { return len(Keys(m)) }

@@ -1,0 +1,28 @@
+// Package sys mirrors the repository's integration.System contract so the
+// lockdiscipline fixtures can exercise the call-under-lock rule without
+// importing the real module.
+package sys
+
+// Request is a query request.
+type Request struct{ Query string }
+
+// Answer is a query result.
+type Answer struct{ Rows int }
+
+// System is the fixture's stand-in for integration.System.
+type System interface {
+	Name() string
+	Answer(req Request) (*Answer, error)
+}
+
+// Stub is a trivial System.
+type Stub struct{ name string }
+
+// New builds a Stub.
+func New(name string) *Stub { return &Stub{name: name} }
+
+// Name implements System.
+func (s *Stub) Name() string { return s.name }
+
+// Answer implements System.
+func (s *Stub) Answer(req Request) (*Answer, error) { return &Answer{Rows: 1}, nil }

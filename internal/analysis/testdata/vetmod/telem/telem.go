@@ -1,0 +1,22 @@
+// Package telem mirrors the repository's telemetry registry surface so the
+// telemetrycontract fixtures can exercise the label-cardinality rule
+// without importing the real module.
+package telem
+
+// Label is one metric label key/value pair.
+type Label struct{ Key, Value string }
+
+// L builds a label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Registry mimics the metric entry points whose labels key series.
+type Registry struct{}
+
+// Counter registers a counter series.
+func (r *Registry) Counter(name string, labels ...Label) int { return len(labels) }
+
+// Gauge registers a gauge series.
+func (r *Registry) Gauge(name string, labels ...Label) int { return len(labels) }
+
+// Histogram registers a histogram series.
+func (r *Registry) Histogram(name string, labels ...Label) int { return len(labels) }
