@@ -4,19 +4,24 @@
 //	thalia-bench engine  [-out BENCH_engine.json] [-runs 3] [-pool N]
 //	thalia-bench chaos   [-out BENCH_chaos.json] [-runs 3] [-pool N] [-seed 1]
 //	thalia-bench server  [-out BENCH_server.json] [-clients 8] [-requests 50]
+//	thalia-bench plan    [-runs 200]
 //	thalia-bench compare -baseline BENCH_engine.json -fresh fresh.json
 //	                     [-tolerance 0.30] [-slowdown 1.0]
 //
-// engine times benchmark.MeasureEngine (sequential vs parallel EvaluateAll
-// over the four built-in systems); chaos times benchmark.MeasureChaos (the
-// same evaluation under a seeded standard-mix fault plan with the default
+// engine times benchmark.MeasureEngine (the uncached sequential seed path
+// vs the shared-prep-cached sequential and pooled configurations, over the
+// four built-in systems); chaos times benchmark.MeasureChaos (the same
+// evaluation under a seeded standard-mix fault plan with the default
 // resilience policy — the cost of retries, backoff, and breaker accounting);
 // server drives website.MeasureServer (N concurrent clients replaying the
-// catalog/schema/query routes). compare reads two artifacts of the same
-// suite and fails (exit 1) if the fresh run regressed beyond the tolerance:
-// engine/chaos ns/op per configuration, server p95 per route. -slowdown
-// multiplies the fresh numbers first — an injected regression that proves
-// the gate actually trips.
+// catalog/schema/query routes); plan reports per-query ns/op for the
+// reference interpreter vs the compiled-plan engine, checking result
+// equality as it goes. compare reads two artifacts of the same suite and
+// fails (exit 1) if the fresh run regressed beyond the tolerance:
+// engine/chaos ns/op per configuration (including the plan_cache row) and
+// the seq→cached speedup ratio, server p95 per route. -slowdown multiplies
+// the fresh numbers first — an injected regression that proves the gate
+// actually trips.
 package main
 
 import (
@@ -26,14 +31,18 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"time"
 
 	"thalia/internal/benchmark"
+	"thalia/internal/catalog"
 	"thalia/internal/cohera"
 	"thalia/internal/integration"
 	"thalia/internal/iwiz"
 	"thalia/internal/rewrite"
 	"thalia/internal/ufmw"
 	"thalia/internal/website"
+	"thalia/internal/xquery"
+	"thalia/internal/xquery/plan"
 )
 
 func main() {
@@ -45,7 +54,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("need a subcommand: engine | chaos | server | compare")
+		return fmt.Errorf("need a subcommand: engine | chaos | server | plan | compare")
 	}
 	switch args[0] {
 	case "engine":
@@ -54,10 +63,12 @@ func run(args []string, out io.Writer) error {
 		return chaosCmd(args[1:], out)
 	case "server":
 		return serverCmd(args[1:], out)
+	case "plan":
+		return planCmd(args[1:], out)
 	case "compare":
 		return compareCmd(args[1:], out)
 	default:
-		return fmt.Errorf("unknown subcommand %q (engine | chaos | server | compare)", args[0])
+		return fmt.Errorf("unknown subcommand %q (engine | chaos | server | plan | compare)", args[0])
 	}
 }
 
@@ -130,6 +141,68 @@ func serverCmd(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "server: %d requests at %.0f req/s over %d routes, wrote %s\n",
 		rep.TotalRequests, rep.ThroughputRPS, len(rep.Routes), *path)
+	return nil
+}
+
+// planCmd reports per-query interpreter vs compiled-plan timings over the
+// benchmark queries, evaluated against the extracted catalogs. Each query is
+// compiled once and re-evaluated -runs times — the reuse pattern the plan
+// cache gives a real run — and results are checked for equality between the
+// engines before timing, so the report cannot quietly compare different
+// answers.
+func planCmd(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("plan", flag.ContinueOnError)
+	runs := fs.Int("runs", 200, "evaluations per engine per query")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *runs < 1 {
+		*runs = 1
+	}
+	resolve := catalog.Resolver()
+	fmt.Fprintf(out, "%-5s %14s %14s %8s\n", "query", "interp ns/op", "plan ns/op", "ratio")
+	var totalI, totalP int64
+	for _, q := range benchmark.Queries() {
+		expr, err := xquery.Parse(q.XQuery)
+		if err != nil {
+			return fmt.Errorf("q%02d: parse: %w", q.ID, err)
+		}
+		p, err := plan.Compile(expr)
+		if err != nil {
+			return fmt.Errorf("q%02d: compile: %w", q.ID, err)
+		}
+		ctx := xquery.NewContext(resolve)
+		want, werr := xquery.Eval(expr, ctx)
+		got, gerr := p.Eval(ctx)
+		if (werr == nil) != (gerr == nil) || (werr != nil && werr.Error() != gerr.Error()) {
+			return fmt.Errorf("q%02d: engines disagree: interpreter %v vs plan %v", q.ID, werr, gerr)
+		}
+		if werr == nil && xquery.SequenceString(want) != xquery.SequenceString(got) {
+			return fmt.Errorf("q%02d: engines disagree on the result", q.ID)
+		}
+		start := time.Now()
+		for i := 0; i < *runs; i++ {
+			_, _ = xquery.Eval(expr, ctx)
+		}
+		interp := time.Since(start).Nanoseconds() / int64(*runs)
+		start = time.Now()
+		for i := 0; i < *runs; i++ {
+			_, _ = p.Eval(ctx)
+		}
+		planNs := time.Since(start).Nanoseconds() / int64(*runs)
+		totalI += interp
+		totalP += planNs
+		ratio := 0.0
+		if planNs > 0 {
+			ratio = float64(interp) / float64(planNs)
+		}
+		fmt.Fprintf(out, "q%02d   %14d %14d %7.2fx\n", q.ID, interp, planNs, ratio)
+	}
+	ratio := 0.0
+	if totalP > 0 {
+		ratio = float64(totalI) / float64(totalP)
+	}
+	fmt.Fprintf(out, "total %14d %14d %7.2fx\n", totalI, totalP, ratio)
 	return nil
 }
 
@@ -231,6 +304,19 @@ func compareEngine(baseRaw, freshRaw []byte, tol, slowdown float64, out io.Write
 		}
 		regressions = check(out, regressions, tm.Name,
 			float64(tm.NsPerOp)/1e6, float64(ft.NsPerOp)/1e6*slowdown, tol, "ms")
+	}
+	// Speedup is a ratio where higher is better: losing more than the
+	// tolerance's share of the baseline speedup is a regression even if no
+	// single row tripped its own limit.
+	if base.Speedup > 0 {
+		floor := base.Speedup * (1 - tol)
+		status := "ok"
+		if fresh.Speedup < floor {
+			status = "REGRESSED"
+			regressions = append(regressions,
+				fmt.Sprintf("speedup: %.2fx vs baseline %.2fx (floor %.2fx)", fresh.Speedup, base.Speedup, floor))
+		}
+		fmt.Fprintf(out, "  %-34s %13.2fx %13.2fx         %s\n", "speedup", base.Speedup, fresh.Speedup, status)
 	}
 	return regressions, nil
 }

@@ -68,6 +68,20 @@ func TestChaosCmdAndCompare(t *testing.T) {
 	}
 }
 
+// plan prints one interpreter-vs-plan row per benchmark query plus a total,
+// and errors out (rather than reporting) if the engines ever disagree.
+func TestPlanCmdReportsAllQueries(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"plan", "-runs", "2"}, &out); err != nil {
+		t.Fatalf("plan: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"q01", "q12", "total", "plan ns/op"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("plan report missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
 func TestCompareServerSuite(t *testing.T) {
 	dir := t.TempDir()
 	base := filepath.Join(dir, "base.json")

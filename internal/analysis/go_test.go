@@ -209,7 +209,7 @@ func TestExplainKindsDetectsDeadVocabulary(t *testing.T) {
 		t.Fatal(err)
 	}
 	findings := ExplainKinds().Run(pkgs)
-	const wantKinds = 17
+	const wantKinds = 19
 	if len(findings) != wantKinds {
 		t.Errorf("got %d findings, want %d (one per Kind constant)", len(findings), wantKinds)
 	}
@@ -298,6 +298,24 @@ func TestApply(t *testing.T) {
 	for _, f := range findings {
 		if strings.Contains(f.Message, "KindWired") {
 			t.Errorf("unexpected finding about KindWired: %s", f)
+		}
+	}
+}
+
+// TestPlanCoverageDetectsUnloweredKinds proves the plancoverage analyzer
+// can fail, against the vetmod fixture: LitExpr is fully wired (compile
+// case plus test mention) and stays quiet, AddExpr compiles but no fixture
+// test names it, DropExpr has no compile case at all.
+func TestPlanCoverageDetectsUnloweredKinds(t *testing.T) {
+	pkgs := loadVetmod(t)
+	findings := planCoverageFor("vetmod/qast", "vetmod/qplan").Run(pkgs)
+	checkFindings(t, findings, "plancoverage", []string{
+		"xquery.AddExpr is exercised by no test in the plan package",
+		"xquery.DropExpr has no compile case in the plan package",
+	}, []string{"LitExpr", "Helper"})
+	for _, f := range findings {
+		if !strings.HasPrefix(f.File, "qast/") || f.Line == 0 {
+			t.Errorf("finding lacks a declaration position: %s", f)
 		}
 	}
 }

@@ -28,7 +28,8 @@ type GoAnalyzer struct {
 func DefaultGoAnalyzers() []*GoAnalyzer {
 	return []*GoAnalyzer{
 		Determinism(), PanicPath(), ErrCheck(), ExplainKinds(), FaultKinds(),
-		CtxFlow(), LockDiscipline(), GoLeak(), MapFlow(), TelemetryContract(),
+		PlanCoverage(), CtxFlow(), LockDiscipline(), GoLeak(), MapFlow(),
+		TelemetryContract(),
 	}
 }
 

@@ -1,0 +1,157 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Import paths of the XQuery AST package and the plan compiler whose
+// coverage the analyzer audits.
+const (
+	xqueryPath     = "thalia/internal/xquery"
+	xqueryPlanPath = "thalia/internal/xquery/plan"
+)
+
+// PlanCoverage returns the analyzer that keeps the compiled-plan engine
+// total: every AST node kind — every exported type in internal/xquery whose
+// pointer implements Expr — must have a compile case (a type-switch case in
+// the plan package's non-test files) and a test in the plan package that
+// exercises it by name. A kind the compiler cannot lower would silently
+// diverge from the interpreter the first time a query used it; a kind no
+// test mentions can rot without failing anything.
+func PlanCoverage() *GoAnalyzer { return planCoverageFor(xqueryPath, xqueryPlanPath) }
+
+// planCoverageFor audits the Expr vocabulary of astPath against the
+// compiler at planPath — the seam the analyzer's own tests use to point it
+// at a fixture module.
+func planCoverageFor(astPath, planPath string) *GoAnalyzer {
+	return &GoAnalyzer{
+		Name: "plancoverage",
+		Doc:  "every xquery Expr node kind has a compile case in the plan package and a test exercising it",
+		Run:  func(pkgs []*GoPackage) []Finding { return runPlanCoverage(pkgs, astPath, planPath) },
+	}
+}
+
+func runPlanCoverage(pkgs []*GoPackage, astPath, planPath string) []Finding {
+	var astPkg, planPkg *GoPackage
+	for _, p := range pkgs {
+		switch p.ImportPath {
+		case astPath:
+			astPkg = p
+		case planPath:
+			planPkg = p
+		}
+	}
+	if astPkg == nil || planPkg == nil {
+		return nil // one side is outside the analysis scope
+	}
+
+	// The Expr interface and the exported node kinds implementing it.
+	scope := astPkg.Types.Scope()
+	exprObj, ok := scope.Lookup("Expr").(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	iface, ok := exprObj.Type().Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	kinds := map[string]*types.TypeName{}
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || !tn.Exported() || tn == exprObj {
+			continue
+		}
+		if _, isIface := tn.Type().Underlying().(*types.Interface); isIface {
+			continue
+		}
+		if types.Implements(types.NewPointer(tn.Type()), iface) {
+			kinds[tn.Name()] = tn
+		}
+	}
+	if len(kinds) == 0 {
+		return nil
+	}
+
+	// A compile case is a type-switch case in the plan package's non-test
+	// files whose type resolves to one of the node kinds.
+	compiled := map[string]bool{}
+	for _, f := range planPkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.TypeSwitchStmt)
+			if !ok {
+				return true
+			}
+			for _, stmt := range sw.Body.List {
+				cc, ok := stmt.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				for _, expr := range cc.List {
+					tv, ok := planPkg.Info.Types[expr]
+					if !ok {
+						continue
+					}
+					t := tv.Type
+					if p, ok := t.(*types.Pointer); ok {
+						t = p.Elem()
+					}
+					named, ok := t.(*types.Named)
+					if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != astPath {
+						continue
+					}
+					if _, ok := kinds[named.Obj().Name()]; ok {
+						compiled[named.Obj().Name()] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// A test exercises a kind when its type name appears in a _test.go file
+	// of the plan package. The loader only parses non-test files, so this is
+	// a textual scan of the package directory.
+	tested := map[string]bool{}
+	entries, err := os.ReadDir(planPkg.Dir)
+	if err == nil {
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), "_test.go") {
+				continue
+			}
+			src, err := os.ReadFile(filepath.Join(planPkg.Dir, e.Name()))
+			if err != nil {
+				continue
+			}
+			for k := range kinds {
+				if strings.Contains(string(src), k) {
+					tested[k] = true
+				}
+			}
+		}
+	}
+
+	names := make([]string, 0, len(kinds))
+	for k := range kinds {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var out []Finding
+	for _, k := range names {
+		file, line, col := astPkg.Position(kinds[k].Pos())
+		if !compiled[k] {
+			out = append(out, Finding{Check: "plancoverage", File: file, Line: line, Column: col,
+				Message: fmt.Sprintf("xquery.%s has no compile case in the plan package (the compiler cannot lower it)", k)})
+		}
+		if !tested[k] {
+			out = append(out, Finding{Check: "plancoverage", File: file, Line: line, Column: col,
+				Message: fmt.Sprintf("xquery.%s is exercised by no test in the plan package", k)})
+		}
+	}
+	return out
+}

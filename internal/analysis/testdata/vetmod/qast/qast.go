@@ -1,0 +1,25 @@
+// Package qast seeds the plancoverage vocabulary: a tiny expression AST
+// with one fully compiled-and-tested kind, one kind the fixture compiler
+// has no case for, and one kind no fixture test mentions.
+package qast
+
+// Expr is the fixture AST interface.
+type Expr interface {
+	exprNode()
+}
+
+// LitExpr is fully wired: compiled in qplan and named in its test.
+type LitExpr struct{ Val string }
+
+// AddExpr has a compile case but appears in no qplan test.
+type AddExpr struct{ L, R Expr }
+
+// DropExpr has no compile case in qplan (it would diverge at runtime).
+type DropExpr struct{ X Expr }
+
+func (*LitExpr) exprNode()  {}
+func (*AddExpr) exprNode()  {}
+func (*DropExpr) exprNode() {}
+
+// Helper is not an Expr kind and must not be reported.
+type Helper struct{}

@@ -1,0 +1,16 @@
+// Package qplan is the fixture compiler plancoverage audits: its type
+// switch lowers LitExpr and AddExpr but has no case for DropExpr.
+package qplan
+
+import "vetmod/qast"
+
+// Compile lowers a fixture expression to a string program.
+func Compile(e qast.Expr) string {
+	switch x := e.(type) {
+	case *qast.LitExpr:
+		return "lit " + x.Val
+	case *qast.AddExpr:
+		return "add(" + Compile(x.L) + "," + Compile(x.R) + ")"
+	}
+	return "unsupported"
+}

@@ -1,0 +1,18 @@
+package qplan
+
+import (
+	"testing"
+
+	"vetmod/qast"
+)
+
+// TestCompileLit names LitExpr (and DropExpr, which is still reported for
+// its missing compile case) but never the addition kind.
+func TestCompileLit(t *testing.T) {
+	if Compile(&qast.LitExpr{Val: "x"}) != "lit x" {
+		t.Fail()
+	}
+	if Compile(&qast.DropExpr{}) != "unsupported" {
+		t.Fail()
+	}
+}

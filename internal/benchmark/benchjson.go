@@ -34,15 +34,26 @@ type Report struct {
 	Systems []string `json:"systems"`
 	// Timings holds one entry per measured configuration.
 	Timings []Timing `json:"timings"`
-	// Speedup is sequential ns/op divided by the best parallel ns/op.
+	// Speedup is the uncached sequential ns/op divided by the best cached
+	// configuration's ns/op — the combined gain from shared preparation and
+	// the worker pool over the seed path.
 	Speedup float64 `json:"speedup"`
 }
 
-// MeasureEngine times EvaluateAll over the given systems sequentially
-// (Concurrency=1) and at each requested pool size, running each
-// configuration `runs` times, and returns the regression report. Systems
-// are warmed with one throwaway evaluation first so one-time materialization
-// (warehouse builds, relation shredding) doesn't distort the comparison.
+// MeasureEngine times EvaluateAll over the given systems in three
+// configurations, running each `runs` times, and returns the regression
+// report:
+//
+//   - "evaluate_all/seq": Concurrency 1 with no prep cache — the original
+//     recompute-per-cell seed path, kept as the comparison floor.
+//   - "evaluate_all/plan_cache": Concurrency 1 with the shared-prep cache
+//     attached, isolating what per-run preparation sharing alone buys.
+//   - "evaluate_all/parN": a pool of N workers with the prep cache, one row
+//     per requested pool size.
+//
+// Systems are warmed with one throwaway evaluation first so one-time
+// materialization (warehouse builds, relation shredding) doesn't distort
+// the comparison.
 func MeasureEngine(runs int, poolSizes []int, systems ...integration.System) (*Report, error) {
 	if runs <= 0 {
 		runs = 1
@@ -55,8 +66,11 @@ func MeasureEngine(runs int, poolSizes []int, systems ...integration.System) (*R
 	if _, err := warm.EvaluateAll(systems...); err != nil {
 		return nil, fmt.Errorf("benchmark: warm-up: %w", err)
 	}
-	measure := func(name string, workers int) (Timing, error) {
+	measure := func(name string, workers int, prep bool) (Timing, error) {
 		r := &Runner{Queries: Queries(), Concurrency: workers}
+		if prep {
+			r.Prep = NewPrepCache()
+		}
 		start := time.Now()
 		for i := 0; i < runs; i++ {
 			if _, err := r.EvaluateAll(systems...); err != nil {
@@ -65,17 +79,23 @@ func MeasureEngine(runs int, poolSizes []int, systems ...integration.System) (*R
 		}
 		return Timing{Name: name, Runs: runs, NsPerOp: time.Since(start).Nanoseconds() / int64(runs)}, nil
 	}
-	seq, err := measure("evaluate_all/seq", 1)
+	seq, err := measure("evaluate_all/seq", 1, false)
 	if err != nil {
 		return nil, err
 	}
 	rep.Timings = append(rep.Timings, seq)
 	best := int64(0)
+	cached, err := measure("evaluate_all/plan_cache", 1, true)
+	if err != nil {
+		return nil, err
+	}
+	rep.Timings = append(rep.Timings, cached)
+	best = cached.NsPerOp
 	for _, workers := range poolSizes {
 		if workers <= 1 {
 			continue
 		}
-		par, err := measure(fmt.Sprintf("evaluate_all/par%d", workers), workers)
+		par, err := measure(fmt.Sprintf("evaluate_all/par%d", workers), workers, true)
 		if err != nil {
 			return nil, err
 		}

@@ -207,7 +207,7 @@ func (r *Runner) evalCellRec(ctx context.Context, sys integration.System, q *Que
 		res.Err = err.Error()
 		return res
 	}
-	want, err := q.Expected()
+	want, err := r.expected(q)
 	if err != nil {
 		res.Err = fmt.Sprintf("expected answer: %v", err)
 		return res

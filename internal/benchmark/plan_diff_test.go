@@ -1,0 +1,161 @@
+package benchmark
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"thalia/internal/catalog"
+	"thalia/internal/integration"
+	"thalia/internal/xmldom"
+	"thalia/internal/xquery"
+	"thalia/internal/xquery/plan"
+)
+
+// planSeq renders an XQuery result sequence with explicit item types, one
+// line per item, so interpreter and plan results can be compared (and
+// diffed) byte for byte.
+func planSeq(s xquery.Sequence) []string {
+	lines := make([]string, len(s))
+	for i, item := range s {
+		switch v := item.(type) {
+		case *xmldom.Document:
+			lines[i] = "document " + v.Root.String()
+		case *xmldom.Element:
+			lines[i] = "element " + v.String()
+		case xquery.AttrRef:
+			lines[i] = fmt.Sprintf("attribute %s=%q", v.Name, v.Value)
+		case string:
+			lines[i] = fmt.Sprintf("string %q", v)
+		case float64:
+			lines[i] = fmt.Sprintf("number %v", v)
+		case bool:
+			lines[i] = fmt.Sprintf("boolean %v", v)
+		default:
+			lines[i] = fmt.Sprintf("%T %v", v, v)
+		}
+	}
+	return lines
+}
+
+// seqDiff reports the line-level difference between two rendered sequences
+// through the same rowDiff helper the cross-system suite uses.
+func seqDiff(want, got []string) string {
+	toRows := func(lines []string) []integration.Row {
+		rows := make([]integration.Row, len(lines))
+		for i, l := range lines {
+			rows[i] = integration.Row{"pos": fmt.Sprint(i), "item": l}
+		}
+		return rows
+	}
+	missing, extra := integration.MatchRows(toRows(want), toRows(got))
+	return rowDiff(missing, extra)
+}
+
+// retarget rewrites a benchmark query to run against another catalog:
+// doc("<ref>.xml")/<ref>/… becomes doc("<cat>.xml")/<cat>/….
+func retarget(q *Query, cat string) string {
+	src := strings.ReplaceAll(q.XQuery, `doc("`+q.Reference+`.xml")`, `doc("`+cat+`.xml")`)
+	return strings.ReplaceAll(src, "/"+q.Reference+"/", "/"+cat+"/")
+}
+
+// TestPlanInterpreterEquivalenceAcrossCatalogs is the tentpole's
+// differential conformance suite: all twelve benchmark queries, retargeted
+// at every extracted catalog, must produce identical outcomes from the
+// reference interpreter and the compiled plan — same error or byte-identical
+// rendered sequence. Most retargeted cells return empty sequences (the
+// catalogs are heterogeneous by design); the test asserts enough non-empty
+// cells that the equivalence claim is not vacuous.
+func TestPlanInterpreterEquivalenceAcrossCatalogs(t *testing.T) {
+	names := catalog.Names()
+	if len(names) < 25 {
+		t.Fatalf("only %d catalogs registered; the suite expects the full testbed", len(names))
+	}
+	queries := Queries()
+	nonEmpty := 0
+	for _, q := range queries {
+		for _, cat := range names {
+			src := retarget(q, cat)
+			label := fmt.Sprintf("q%02d/%s", q.ID, cat)
+			expr, err := xquery.Parse(src)
+			if err != nil {
+				t.Fatalf("%s: parse: %v", label, err)
+			}
+			p, err := plan.Compile(expr)
+			if err != nil {
+				t.Fatalf("%s: compile: %v", label, err)
+			}
+			ictx := xquery.NewContext(catalog.Resolver())
+			pctx := xquery.NewContext(catalog.Resolver())
+			want, werr := xquery.Eval(expr, ictx)
+			got, gerr := p.Eval(pctx)
+			if (werr == nil) != (gerr == nil) {
+				t.Errorf("%s: error divergence:\ninterpreter: %v\nplan:        %v", label, werr, gerr)
+				continue
+			}
+			if werr != nil {
+				if werr.Error() != gerr.Error() {
+					t.Errorf("%s: error message divergence:\ninterpreter: %v\nplan:        %v", label, werr, gerr)
+				}
+				continue
+			}
+			w, g := planSeq(want), planSeq(got)
+			if strings.Join(w, "\n") != strings.Join(g, "\n") {
+				t.Errorf("%s: result divergence:\n%s", label, seqDiff(w, g))
+			}
+			if len(want) > 0 {
+				nonEmpty++
+			}
+		}
+	}
+	if nonEmpty < len(queries) {
+		t.Errorf("only %d of %d cells returned rows — the differential suite is near-vacuous",
+			nonEmpty, len(queries)*len(names))
+	}
+}
+
+// TestScorecardsByteIdenticalWithPrepCache pins the shared-prep cache's
+// invisibility: whatever the pool size, and whether or not a PrepCache is
+// attached, ranked scorecards are byte-identical to the uncached sequential
+// reference. Runs under -race in CI, so cache sharing across the pool is
+// also exercised for data races.
+func TestScorecardsByteIdenticalWithPrepCache(t *testing.T) {
+	ref, err := (&Runner{Queries: Queries(), Concurrency: 1}).EvaluateAll(allSystems()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderCards(ref)
+	for _, workers := range []int{1, 2, 8} {
+		for _, prep := range []bool{false, true} {
+			r := &Runner{Queries: Queries(), Concurrency: workers}
+			if prep {
+				r.Prep = NewPrepCache()
+			}
+			cards, err := r.EvaluateAll(allSystems()...)
+			if err != nil {
+				t.Fatalf("pool %d prep=%v: %v", workers, prep, err)
+			}
+			if got := renderCards(cards); got != want {
+				t.Errorf("pool %d prep=%v: ranked scorecards differ from uncached sequential reference", workers, prep)
+			}
+		}
+	}
+}
+
+// TestPrepCacheComputesExpectedOncePerQuery proves the sharing the cache
+// exists for: across a 4-system run, each query's ground truth is computed
+// exactly once (12 misses) and served from cache for every other cell
+// (36 hits).
+func TestPrepCacheComputesExpectedOncePerQuery(t *testing.T) {
+	r := NewSequentialRunner()
+	if _, err := r.EvaluateAll(allSystems()...); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := r.Prep.Stats()
+	if misses != int64(len(r.Queries)) {
+		t.Errorf("expected-answer misses = %d, want %d (once per query)", misses, len(r.Queries))
+	}
+	if want := int64(3 * len(r.Queries)); hits != want {
+		t.Errorf("expected-answer hits = %d, want %d (remaining cells served from cache)", hits, want)
+	}
+}

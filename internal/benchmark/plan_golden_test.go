@@ -1,0 +1,45 @@
+package benchmark
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"thalia/internal/xquery/plan"
+)
+
+// TestPlanGoldenDumps pins the compiled plan of each benchmark query as a
+// textual tree under testdata/plan/. A diff here means the compiler emits a
+// different program for a benchmark query — slot assignment, step order,
+// builtin resolution — which should be a deliberate act (rerun with
+// -update; the flag is shared with the explain golden suite).
+func TestPlanGoldenDumps(t *testing.T) {
+	for _, q := range Queries() {
+		q := q
+		t.Run(fmt.Sprintf("q%02d", q.ID), func(t *testing.T) {
+			p, err := plan.CompileQuery(q.XQuery)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			got := p.Dump()
+			path := filepath.Join("testdata", "plan", fmt.Sprintf("q%02d.golden", q.ID))
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run go test ./internal/benchmark -run PlanGolden -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("compiled plan drifted from %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+			}
+		})
+	}
+}

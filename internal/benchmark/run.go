@@ -34,6 +34,13 @@ type Runner struct {
 	// declined, errored or incorrect. Like Telemetry, it observes without
 	// perturbing: rendered scorecards are byte-identical either way.
 	ExplainFailures bool
+	// Prep, when non-nil, is the per-run shared-preparation cache: expected
+	// answers are computed once per query instead of once per cell, and
+	// compiled query plans are shared through Prep.Plans. NewRunner and
+	// NewSequentialRunner attach one; a nil Prep reproduces the original
+	// recompute-per-cell path. Like Telemetry, it cannot change results:
+	// scorecards are byte-identical with or without it.
+	Prep *PrepCache
 	// Resilience, when non-nil, runs every cell through the retry /
 	// circuit-breaker / graceful-degradation policy and attaches attempt
 	// histories (QueryResult.Attempts). With a breaker enabled, each
@@ -44,13 +51,16 @@ type Runner struct {
 	Resilience *Resilience
 }
 
-// NewRunner returns a runner over all twelve queries.
-func NewRunner() *Runner { return &Runner{Queries: Queries()} }
+// NewRunner returns a runner over all twelve queries with a fresh
+// shared-prep cache attached.
+func NewRunner() *Runner { return &Runner{Queries: Queries(), Prep: NewPrepCache()} }
 
 // NewSequentialRunner returns a runner that evaluates cells strictly one at
 // a time, in query order — the reference path the concurrent engine is
 // differentially tested against.
-func NewSequentialRunner() *Runner { return &Runner{Queries: Queries(), Concurrency: 1} }
+func NewSequentialRunner() *Runner {
+	return &Runner{Queries: Queries(), Concurrency: 1, Prep: NewPrepCache()}
+}
 
 // Evaluate runs every benchmark query through the system and scores the
 // outcome against the expected integrated answers. A query whose expected

@@ -71,6 +71,12 @@ const (
 	// KindFault marks a deterministic fault injected by a faultline plan
 	// (added latency, transient/permanent error, truncation, slow drip).
 	KindFault Kind = "fault"
+	// KindPlan is one compiled-plan evaluation; its attrs report how many
+	// times the plan has been reused, making cache behavior visible.
+	KindPlan Kind = "plan"
+	// KindIndex marks a document name-index consulted by compiled path-step
+	// execution instead of a full tree walk.
+	KindIndex Kind = "index"
 )
 
 // Attr is one key=value annotation on a span or event.

@@ -14,6 +14,11 @@ type Table struct {
 	Rows    [][]Value
 
 	colIdx map[string]int
+
+	// eqIdx holds lazily built per-column equality indexes consulted by
+	// single-table WHERE scans; see eqIndexFor.
+	idxMu sync.Mutex
+	eqIdx map[int]*eqIndex
 }
 
 // NewTable creates an empty table with the given columns.
@@ -57,6 +62,10 @@ type DB struct {
 	tables map[string]*Table
 	views  map[string]*SelectStmt
 	funcs  map[string]*Func
+	// stmts is the prepared-statement cache: SELECT text parsed once per
+	// database. Parsed statements are immutable during execution, so one
+	// statement may serve concurrent queries. Parse errors are never cached.
+	stmts map[string]*SelectStmt
 	// Called tallies UDF invocations by name, feeding THALIA's
 	// integration-effort accounting.
 	Called map[string]int
@@ -68,6 +77,7 @@ func NewDB() *DB {
 		tables: map[string]*Table{},
 		views:  map[string]*SelectStmt{},
 		funcs:  map[string]*Func{},
+		stmts:  map[string]*SelectStmt{},
 		Called: map[string]int{},
 	}
 }
@@ -172,11 +182,29 @@ type Result struct {
 	Rows    [][]Value
 }
 
-// Query parses and executes a SELECT statement.
+// Query executes a SELECT statement, parsing it through the prepared-
+// statement cache: each distinct SQL text is parsed once per database, so
+// the repeated identical queries a benchmark run issues skip the parser.
 func (db *DB) Query(sql string) (*Result, error) {
-	stmt, err := ParseSelect(sql)
-	if err != nil {
-		return nil, err
+	db.mu.RLock()
+	stmt := db.stmts[sql]
+	db.mu.RUnlock()
+	if stmt == nil {
+		var err error
+		stmt, err = ParseSelect(sql)
+		if err != nil {
+			return nil, err
+		}
+		db.mu.Lock()
+		db.stmts[sql] = stmt
+		db.mu.Unlock()
 	}
 	return db.execSelect(stmt, 0)
+}
+
+// StmtCacheLen reports how many distinct SELECT texts have been prepared.
+func (db *DB) StmtCacheLen() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.stmts)
 }

@@ -71,8 +71,13 @@ func (db *DB) execSelect(stmt *SelectStmt, depth int) (*Result, error) {
 		tables = append(tables, t)
 	}
 
-	// Nested-loop cartesian product with WHERE filtering.
-	var joined [][]Value
+	// Single-table scans with a qualifying equality conjunct go through the
+	// value index; everything else takes the nested-loop cartesian product
+	// with WHERE filtering.
+	joined, indexed, err := db.indexedScan(stmt, bind, tables)
+	if err != nil {
+		return nil, err
+	}
 	var build func(i int, acc []Value) error
 	build = func(i int, acc []Value) error {
 		if i == len(tables) {
@@ -96,8 +101,10 @@ func (db *DB) execSelect(stmt *SelectStmt, depth int) (*Result, error) {
 		}
 		return nil
 	}
-	if err := build(0, nil); err != nil {
-		return nil, err
+	if !indexed {
+		if err := build(0, nil); err != nil {
+			return nil, err
+		}
 	}
 
 	// ORDER BY before projection so expressions can reference any column.

@@ -1,0 +1,152 @@
+package minidb
+
+// This file implements the value-index fast path for single-table WHERE
+// scans: a lazily built per-column equality index over Text cells, consulted
+// when the leftmost AND-conjunct of a WHERE clause is `column = 'literal'`.
+//
+// The index is a pure pruning device — every surviving candidate row still
+// has the full WHERE predicate evaluated against it — so it can only be used
+// where pruning provably cannot change results or error behavior:
+//
+//   - Only Text cells are keyed. Compare() coerces numerically whenever
+//     either side is a number (Text "3.0" equals Number 3), so non-Text
+//     cells go to a residual list that is always scanned.
+//   - Only Text literals probe the map, for the same reason.
+//   - Only the LEFTMOST conjunct reached through AND nodes qualifies: on a
+//     pruned row the interpreter would evaluate that equality first (column
+//     reference + literal + Compare, none of which can fail once the column
+//     resolves), get false, and short-circuit the rest of the predicate —
+//     so skipping the row cannot suppress an error a full scan would raise.
+
+// eqIndexDisabled turns the fast path off; tests flip it to prove scans
+// return byte-identical results with and without the index.
+var eqIndexDisabled = false
+
+// eqIndex is an equality index over one column of a table.
+type eqIndex struct {
+	nRows int              // rows covered at build time; stale when != len(Rows)
+	text  map[string][]int // row positions of Text cells, by exact string
+	other []int            // row positions of non-Text cells, always scanned
+}
+
+func buildEqIndex(rows [][]Value, col int) *eqIndex {
+	ix := &eqIndex{nRows: len(rows), text: make(map[string][]int)}
+	for i, r := range rows {
+		if col >= len(r) {
+			ix.other = append(ix.other, i)
+			continue
+		}
+		if v := r[col]; v.Kind == KindText {
+			ix.text[v.S] = append(ix.text[v.S], i)
+		} else {
+			ix.other = append(ix.other, i)
+		}
+	}
+	return ix
+}
+
+// eqIndexFor returns the memoized equality index for a column, building or
+// rebuilding it when absent or stale (rows inserted since the last build).
+func (t *Table) eqIndexFor(col int) *eqIndex {
+	t.idxMu.Lock()
+	defer t.idxMu.Unlock()
+	if t.eqIdx == nil {
+		t.eqIdx = make(map[int]*eqIndex)
+	}
+	ix := t.eqIdx[col]
+	if ix == nil || ix.nRows != len(t.Rows) {
+		ix = buildEqIndex(t.Rows, col)
+		t.eqIdx[col] = ix
+	}
+	return ix
+}
+
+// candidates returns the row positions that may satisfy `col = key`, in
+// ascending row order: the Text cells matching exactly, merged with the
+// residual rows the index cannot rule out.
+func (ix *eqIndex) candidates(key string) []int {
+	hits := ix.text[key]
+	if len(ix.other) == 0 {
+		return hits
+	}
+	if len(hits) == 0 {
+		return ix.other
+	}
+	out := make([]int, 0, len(hits)+len(ix.other))
+	i, j := 0, 0
+	for i < len(hits) && j < len(ix.other) {
+		if hits[i] < ix.other[j] {
+			out = append(out, hits[i])
+			i++
+		} else {
+			out = append(out, ix.other[j])
+			j++
+		}
+	}
+	out = append(out, hits[i:]...)
+	return append(out, ix.other[j:]...)
+}
+
+// leftmostConjunct descends through AND nodes to the first conjunct the
+// interpreter would evaluate.
+func leftmostConjunct(e SQLExpr) SQLExpr {
+	for {
+		b, ok := e.(*SQLBinary)
+		if !ok || b.Op != "AND" {
+			return e
+		}
+		e = b.L
+	}
+}
+
+// eqProbe extracts the (column, text-literal) pair from a qualifying
+// leftmost conjunct: `col = 'lit'` or `'lit' = col`.
+func eqProbe(e SQLExpr) (*ColRef, string, bool) {
+	b, ok := e.(*SQLBinary)
+	if !ok || b.Op != "=" {
+		return nil, "", false
+	}
+	if c, ok := b.L.(*ColRef); ok {
+		if l, ok := b.R.(*SQLLit); ok && l.Val.Kind == KindText {
+			return c, l.Val.S, true
+		}
+	}
+	if c, ok := b.R.(*ColRef); ok {
+		if l, ok := b.L.(*SQLLit); ok && l.Val.Kind == KindText {
+			return c, l.Val.S, true
+		}
+	}
+	return nil, "", false
+}
+
+// indexedScan attempts the fast path for a single-table SELECT whose WHERE
+// has a qualifying equality conjunct. It returns the filtered rows (the full
+// WHERE evaluated on every candidate) and whether the fast path applied.
+func (db *DB) indexedScan(stmt *SelectStmt, bind *binding, tables []*Table) ([][]Value, bool, error) {
+	if eqIndexDisabled || len(tables) != 1 || stmt.Where == nil {
+		return nil, false, nil
+	}
+	col, key, ok := eqProbe(leftmostConjunct(stmt.Where))
+	if !ok {
+		return nil, false, nil
+	}
+	// With a single table the joined-row position is the column position.
+	pos, err := bind.lookup(col.Table, col.Column)
+	if err != nil {
+		return nil, false, nil // let the full scan surface the lookup error
+	}
+	t := tables[0]
+	var joined [][]Value
+	for _, i := range t.eqIndexFor(pos).candidates(key) {
+		row := append([]Value(nil), t.Rows[i]...)
+		v, err := db.evalSQL(stmt.Where, bind, row)
+		if err != nil {
+			return nil, true, err
+		}
+		if v.IsNull() || !v.AsBool() {
+			continue
+		}
+		joined = append(joined, row)
+	}
+	return joined, true, nil
+}

@@ -1,0 +1,162 @@
+package minidb
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// mixedDB builds a table whose "code" column mixes Text, Number, Bool and
+// NULL cells — the cases where Compare's numeric coercion makes a naive
+// string-keyed index unsound — so the identity tests cover the residual
+// path, not just the happy Text-vs-Text case.
+func mixedDB(t testing.TB) *DB {
+	db := NewDB()
+	tab := NewTable("items", "code", "qty", "label")
+	rows := [][]Value{
+		{Text("a1"), Number(1), Text("first")},
+		{Text("3"), Number(2), Text("digit-like text")},
+		{Number(3), Number(3), Text("number three")},
+		{Null, Number(4), Text("null code")},
+		{Text("a1"), Number(5), Text("duplicate key")},
+		{Bool(true), Number(6), Text("bool code")},
+		{Text("true"), Number(7), Text("text true")},
+		{Text(""), Number(8), Text("empty text")},
+	}
+	for _, r := range rows {
+		if err := tab.Insert(r...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.CreateTable(tab)
+	return db
+}
+
+func renderResult(res *Result) string {
+	var b strings.Builder
+	b.WriteString(strings.Join(res.Columns, "|") + "\n")
+	for _, row := range res.Rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = fmt.Sprintf("%d:%s", v.Kind, v.String())
+		}
+		b.WriteString(strings.Join(parts, "|") + "\n")
+	}
+	return b.String()
+}
+
+// indexIdentityQueries are scans the equality index may or may not
+// accelerate; every one must return byte-identical results either way.
+var indexIdentityQueries = []string{
+	`SELECT * FROM items WHERE code = 'a1'`,
+	`SELECT * FROM items WHERE 'a1' = code`,
+	// Text literal '3' must also match the Number(3) cell (numeric
+	// coercion) — served by the residual list.
+	`SELECT * FROM items WHERE code = '3'`,
+	`SELECT * FROM items WHERE code = 'true'`,
+	`SELECT * FROM items WHERE code = ''`,
+	`SELECT * FROM items WHERE code = 'missing'`,
+	// Equality as the leftmost AND-conjunct, with more predicate behind it.
+	`SELECT label FROM items WHERE code = 'a1' AND qty > 1`,
+	`SELECT label FROM items WHERE code = '3' AND qty < 3 ORDER BY qty DESC`,
+	// Shapes the index must decline: OR at the top, equality on the right,
+	// non-text literal, qualified reference through an alias.
+	`SELECT * FROM items WHERE code = 'a1' OR qty = 4`,
+	`SELECT * FROM items WHERE qty > 1 AND code = 'a1'`,
+	`SELECT * FROM items WHERE qty = 3`,
+	`SELECT i.label FROM items i WHERE i.code = 'a1'`,
+	`SELECT DISTINCT code FROM items WHERE code = 'a1'`,
+}
+
+// TestEqIndexResultIdentity proves the value index is invisible: every scan
+// returns byte-identical results with the index enabled and disabled.
+func TestEqIndexResultIdentity(t *testing.T) {
+	for _, q := range indexIdentityQueries {
+		t.Run(q, func(t *testing.T) {
+			indexed, ierr := mixedDB(t).Query(q)
+			eqIndexDisabled = true
+			defer func() { eqIndexDisabled = false }()
+			scanned, serr := mixedDB(t).Query(q)
+			if (ierr == nil) != (serr == nil) {
+				t.Fatalf("error divergence: indexed=%v scanned=%v", ierr, serr)
+			}
+			if ierr != nil {
+				if ierr.Error() != serr.Error() {
+					t.Fatalf("error message divergence: indexed=%v scanned=%v", ierr, serr)
+				}
+				return
+			}
+			if ir, sr := renderResult(indexed), renderResult(scanned); ir != sr {
+				t.Fatalf("result divergence:\nindexed:\n%s\nfull scan:\n%s", ir, sr)
+			}
+		})
+	}
+}
+
+// TestEqIndexErrorIdentity checks the pruning-safety argument: an error in a
+// later conjunct must surface identically whether or not rows were pruned.
+func TestEqIndexErrorIdentity(t *testing.T) {
+	const q = `SELECT * FROM items WHERE code = 'a1' AND qty / 0 > 1`
+	_, ierr := mixedDB(t).Query(q)
+	eqIndexDisabled = true
+	defer func() { eqIndexDisabled = false }()
+	_, serr := mixedDB(t).Query(q)
+	if ierr == nil || serr == nil || ierr.Error() != serr.Error() {
+		t.Fatalf("error divergence: indexed=%v scanned=%v", ierr, serr)
+	}
+}
+
+// TestEqIndexStaleRebuild proves inserts after a first indexed query are
+// visible to the next one (the index rebuilds when row counts drift).
+func TestEqIndexStaleRebuild(t *testing.T) {
+	db := mixedDB(t)
+	const q = `SELECT qty FROM items WHERE code = 'a1'`
+	res, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("before insert: %d rows, want 2", len(res.Rows))
+	}
+	tab, err := db.Table("items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Insert(Text("a1"), Number(9), Text("late insert")); err != nil {
+		t.Fatal(err)
+	}
+	res, err = db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("after insert: %d rows, want 3", len(res.Rows))
+	}
+}
+
+// TestStmtCachePreparesOnce pins the prepared-statement cache: repeated
+// identical SQL parses once, distinct SQL adds entries, and parse errors are
+// never cached.
+func TestStmtCachePreparesOnce(t *testing.T) {
+	db := mixedDB(t)
+	for i := 0; i < 3; i++ {
+		if _, err := db.Query(`SELECT * FROM items WHERE code = 'a1'`); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := db.StmtCacheLen(); n != 1 {
+		t.Fatalf("StmtCacheLen() = %d after repeated identical queries, want 1", n)
+	}
+	if _, err := db.Query(`SELECT label FROM items`); err != nil {
+		t.Fatal(err)
+	}
+	if n := db.StmtCacheLen(); n != 2 {
+		t.Fatalf("StmtCacheLen() = %d after a second distinct query, want 2", n)
+	}
+	if _, err := db.Query(`SELECT FROM WHERE`); err == nil {
+		t.Fatal("malformed SQL did not error")
+	}
+	if n := db.StmtCacheLen(); n != 2 {
+		t.Fatalf("StmtCacheLen() = %d after a parse error, want 2 (errors never cached)", n)
+	}
+}

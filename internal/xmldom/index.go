@@ -1,0 +1,56 @@
+package xmldom
+
+// NameIndex is a by-name index over the elements of one subtree: the root
+// plus every descendant element, in document order. It answers the
+// descendant-axis question — "all elements named X under this root" — in one
+// map lookup instead of a full tree walk, which is what the compiled-plan
+// engine's path steps consult for catalog documents.
+//
+// The index reflects the tree at build time; it is only valid for documents
+// that are read-only by contract (as every materialized catalog document is).
+type NameIndex struct {
+	all    []*Element
+	byName map[string][]*Element
+}
+
+// BuildNameIndex indexes root and all of its descendant elements in
+// document order (preorder, matching Element.Descendants).
+func BuildNameIndex(root *Element) *NameIndex {
+	ix := &NameIndex{byName: make(map[string][]*Element)}
+	var walk func(*Element)
+	walk = func(el *Element) {
+		ix.all = append(ix.all, el)
+		ix.byName[el.Name] = append(ix.byName[el.Name], el)
+		for _, c := range el.Children {
+			if child, ok := c.(*Element); ok {
+				walk(child)
+			}
+		}
+	}
+	if root != nil {
+		walk(root)
+	}
+	return ix
+}
+
+// Elements returns the indexed elements with the given name in document
+// order, including the subtree root itself when it matches. "*" returns
+// every indexed element. Callers must not mutate the returned slice.
+func (ix *NameIndex) Elements(name string) []*Element {
+	if name == "*" {
+		return ix.all
+	}
+	return ix.byName[name]
+}
+
+// Len returns the number of indexed elements.
+func (ix *NameIndex) Len() int { return len(ix.all) }
+
+// NameIndex returns the document's name index, built lazily on first use
+// and memoized: catalog documents are materialized once and shared
+// read-only, so one index serves every evaluation that touches the
+// document. Safe for concurrent use.
+func (d *Document) NameIndex() *NameIndex {
+	d.idxOnce.Do(func() { d.idx = BuildNameIndex(d.Root) })
+	return d.idx
+}

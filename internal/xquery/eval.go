@@ -52,25 +52,50 @@ type Context struct {
 	// evaluation — the explain package's zero-overhead contract.
 	Explain *explain.Recorder
 
-	vars     map[string]Sequence
+	// vars holds the global bindings as ordered slots rather than a map:
+	// Bind appends, lookup scans from the end. Repeated Bind calls of the
+	// same name therefore shadow deterministically (latest wins) — the same
+	// slot discipline the compiled-plan engine uses for its lexical scopes,
+	// so both engines resolve shadowed bindings identically.
+	vars     []slotBinding
 	external map[string]*ExternalFunc
 	// Called tallies external-function invocations by name, feeding the
 	// benchmark's integration-effort accounting.
 	Called map[string]int
 }
 
+// slotBinding is one ordered global binding slot.
+type slotBinding struct {
+	name string
+	val  Sequence
+}
+
 // NewContext returns a context resolving documents through resolve.
 func NewContext(resolve DocResolver) *Context {
 	return &Context{
 		Resolve:  resolve,
-		vars:     make(map[string]Sequence),
 		external: make(map[string]*ExternalFunc),
 		Called:   make(map[string]int),
 	}
 }
 
-// Bind sets a global variable visible to the query.
-func (c *Context) Bind(name string, val Sequence) { c.vars[name] = val }
+// Bind sets a global variable visible to the query. Binding an already-bound
+// name appends a new slot that shadows the old one.
+func (c *Context) Bind(name string, val Sequence) {
+	c.vars = append(c.vars, slotBinding{name: name, val: val})
+}
+
+// Var returns the value of a global bound with Bind, honoring shadowing:
+// the latest binding of a name wins. Both engines resolve free variables
+// through it.
+func (c *Context) Var(name string) (Sequence, bool) {
+	for i := len(c.vars) - 1; i >= 0; i-- {
+		if c.vars[i].name == name {
+			return c.vars[i].val, true
+		}
+	}
+	return nil, false
+}
 
 // Register makes an external function callable from queries. Names are
 // case-insensitive like builtins.
@@ -133,7 +158,7 @@ func (ev *evaluator) lookupVar(name string, en *env) (Sequence, error) {
 	if v, ok := en.lookup(name); ok {
 		return v, nil
 	}
-	if v, ok := ev.ctx.vars[name]; ok {
+	if v, ok := ev.ctx.Var(name); ok {
 		return v, nil
 	}
 	return nil, dynErrf("unbound variable $%s", name)

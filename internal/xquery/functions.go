@@ -37,25 +37,56 @@ func (ev *evaluator) dispatchCall(c *Call, en *env) (Sequence, error) {
 		args[i] = s
 	}
 	if fn, ok := builtins[c.Name]; ok {
-		if len(args) < fn.minArgs || (fn.maxArgs >= 0 && len(args) > fn.maxArgs) {
-			return nil, dynErrf("%s: wrong number of arguments (%d)", c.Name, len(args))
-		}
-		return fn.fn(ev, args)
+		return fn.Invoke(c.Name, ev.ctx, ev.rec, args)
 	}
-	if ext, ok := ev.ctx.external[c.Name]; ok {
-		ev.ctx.Called[ext.Name]++
-		if ev.rec != nil {
-			ev.rec.Event(explain.KindTransform, ext.Name,
+	return CallExternal(ev.ctx, ev.rec, c.Name, args)
+}
+
+// BuiltinFunc is the invocable form of a builtin: pure over its evaluated
+// arguments except for doc(), which consults the context's resolver and
+// records provenance. Both the interpreter and the compiled-plan engine
+// dispatch through the same BuiltinFunc values, so builtin semantics cannot
+// drift between engines.
+type BuiltinFunc func(ctx *Context, rec *explain.Recorder, args []Sequence) (Sequence, error)
+
+// Builtin is one builtin function with its arity bounds.
+type Builtin struct {
+	MinArgs, MaxArgs int // MaxArgs -1 means variadic
+	Fn               BuiltinFunc
+}
+
+// Invoke applies the interpreter's arity rule — checked only after the
+// arguments were evaluated, so argument errors surface first — then calls
+// the builtin.
+func (b Builtin) Invoke(name string, ctx *Context, rec *explain.Recorder, args []Sequence) (Sequence, error) {
+	if len(args) < b.MinArgs || (b.MaxArgs >= 0 && len(args) > b.MaxArgs) {
+		return nil, dynErrf("%s: wrong number of arguments (%d)", name, len(args))
+	}
+	return b.Fn(ctx, rec, args)
+}
+
+// LookupBuiltin returns the builtin registered under name (already
+// lower-cased by the parser). The compiled-plan engine uses it to resolve
+// builtins once at compile time instead of per call.
+func LookupBuiltin(name string) (Builtin, bool) {
+	b, ok := builtins[name]
+	return b, ok
+}
+
+// CallExternal invokes a context-registered external function with
+// already-evaluated arguments, tallying the call for integration-effort
+// accounting and recording the transform event; an unregistered name is the
+// interpreter's "unknown function" error. Shared by both engines.
+func CallExternal(ctx *Context, rec *explain.Recorder, name string, args []Sequence) (Sequence, error) {
+	if ext, ok := ctx.external[name]; ok {
+		ctx.Called[ext.Name]++
+		if rec != nil {
+			rec.Event(explain.KindTransform, ext.Name,
 				explain.A("complexity", strconv.Itoa(ext.Complexity)))
 		}
 		return ext.Fn(args)
 	}
-	return nil, dynErrf("unknown function %s()", c.Name)
-}
-
-type builtin struct {
-	minArgs, maxArgs int // maxArgs -1 means variadic
-	fn               func(ev *evaluator, args []Sequence) (Sequence, error)
+	return nil, dynErrf("unknown function %s()", name)
 }
 
 func arg0String(args []Sequence) string {
@@ -72,34 +103,34 @@ func argString(args []Sequence, i int) string {
 	return ItemString(args[i][0])
 }
 
-var builtins map[string]builtin
+var builtins map[string]Builtin
 
 func init() {
-	builtins = map[string]builtin{
-		"doc": {1, 1, func(ev *evaluator, args []Sequence) (Sequence, error) {
+	builtins = map[string]Builtin{
+		"doc": {1, 1, func(ctx *Context, rec *explain.Recorder, args []Sequence) (Sequence, error) {
 			uri := arg0String(args)
-			if ev.ctx.Resolve == nil {
+			if ctx.Resolve == nil {
 				return nil, dynErrf("doc(%q): no document resolver configured", uri)
 			}
-			d, err := ev.ctx.Resolve(uri)
+			d, err := ctx.Resolve(uri)
 			if err != nil {
 				return nil, dynErrf("doc(%q): %v", uri, err)
 			}
-			if ev.rec != nil {
-				ev.rec.Event(explain.KindDoc, uri)
+			if rec != nil {
+				rec.Event(explain.KindDoc, uri)
 			}
 			return Sequence{d}, nil
 		}},
-		"contains": {2, 2, func(ev *evaluator, args []Sequence) (Sequence, error) {
+		"contains": {2, 2, func(ctx *Context, rec *explain.Recorder, args []Sequence) (Sequence, error) {
 			return Sequence{strings.Contains(argString(args, 0), argString(args, 1))}, nil
 		}},
-		"starts-with": {2, 2, func(ev *evaluator, args []Sequence) (Sequence, error) {
+		"starts-with": {2, 2, func(ctx *Context, rec *explain.Recorder, args []Sequence) (Sequence, error) {
 			return Sequence{strings.HasPrefix(argString(args, 0), argString(args, 1))}, nil
 		}},
-		"ends-with": {2, 2, func(ev *evaluator, args []Sequence) (Sequence, error) {
+		"ends-with": {2, 2, func(ctx *Context, rec *explain.Recorder, args []Sequence) (Sequence, error) {
 			return Sequence{strings.HasSuffix(argString(args, 0), argString(args, 1))}, nil
 		}},
-		"substring": {2, 3, func(ev *evaluator, args []Sequence) (Sequence, error) {
+		"substring": {2, 3, func(ctx *Context, rec *explain.Recorder, args []Sequence) (Sequence, error) {
 			s := argString(args, 0)
 			start, ok := itemNumber(argString(args, 1))
 			if !ok {
@@ -128,33 +159,33 @@ func init() {
 			}
 			return Sequence{s[from:]}, nil
 		}},
-		"substring-before": {2, 2, func(ev *evaluator, args []Sequence) (Sequence, error) {
+		"substring-before": {2, 2, func(ctx *Context, rec *explain.Recorder, args []Sequence) (Sequence, error) {
 			s, sep := argString(args, 0), argString(args, 1)
 			if i := strings.Index(s, sep); i >= 0 {
 				return Sequence{s[:i]}, nil
 			}
 			return Sequence{""}, nil
 		}},
-		"substring-after": {2, 2, func(ev *evaluator, args []Sequence) (Sequence, error) {
+		"substring-after": {2, 2, func(ctx *Context, rec *explain.Recorder, args []Sequence) (Sequence, error) {
 			s, sep := argString(args, 0), argString(args, 1)
 			if i := strings.Index(s, sep); i >= 0 {
 				return Sequence{s[i+len(sep):]}, nil
 			}
 			return Sequence{""}, nil
 		}},
-		"string-length": {1, 1, func(ev *evaluator, args []Sequence) (Sequence, error) {
+		"string-length": {1, 1, func(ctx *Context, rec *explain.Recorder, args []Sequence) (Sequence, error) {
 			return Sequence{float64(len(arg0String(args)))}, nil
 		}},
-		"upper-case": {1, 1, func(ev *evaluator, args []Sequence) (Sequence, error) {
+		"upper-case": {1, 1, func(ctx *Context, rec *explain.Recorder, args []Sequence) (Sequence, error) {
 			return Sequence{strings.ToUpper(arg0String(args))}, nil
 		}},
-		"lower-case": {1, 1, func(ev *evaluator, args []Sequence) (Sequence, error) {
+		"lower-case": {1, 1, func(ctx *Context, rec *explain.Recorder, args []Sequence) (Sequence, error) {
 			return Sequence{strings.ToLower(arg0String(args))}, nil
 		}},
-		"normalize-space": {1, 1, func(ev *evaluator, args []Sequence) (Sequence, error) {
+		"normalize-space": {1, 1, func(ctx *Context, rec *explain.Recorder, args []Sequence) (Sequence, error) {
 			return Sequence{strings.Join(strings.Fields(arg0String(args)), " ")}, nil
 		}},
-		"translate": {3, 3, func(ev *evaluator, args []Sequence) (Sequence, error) {
+		"translate": {3, 3, func(ctx *Context, rec *explain.Recorder, args []Sequence) (Sequence, error) {
 			s, from, to := argString(args, 0), argString(args, 1), argString(args, 2)
 			fr, tr := []rune(from), []rune(to)
 			var b strings.Builder
@@ -174,14 +205,14 @@ func init() {
 			}
 			return Sequence{b.String()}, nil
 		}},
-		"concat": {2, -1, func(ev *evaluator, args []Sequence) (Sequence, error) {
+		"concat": {2, -1, func(ctx *Context, rec *explain.Recorder, args []Sequence) (Sequence, error) {
 			var b strings.Builder
 			for i := range args {
 				b.WriteString(argString(args, i))
 			}
 			return Sequence{b.String()}, nil
 		}},
-		"string-join": {2, 2, func(ev *evaluator, args []Sequence) (Sequence, error) {
+		"string-join": {2, 2, func(ctx *Context, rec *explain.Recorder, args []Sequence) (Sequence, error) {
 			sep := argString(args, 1)
 			parts := make([]string, len(args[0]))
 			for i, item := range args[0] {
@@ -189,10 +220,10 @@ func init() {
 			}
 			return Sequence{strings.Join(parts, sep)}, nil
 		}},
-		"string": {1, 1, func(ev *evaluator, args []Sequence) (Sequence, error) {
+		"string": {1, 1, func(ctx *Context, rec *explain.Recorder, args []Sequence) (Sequence, error) {
 			return Sequence{arg0String(args)}, nil
 		}},
-		"number": {1, 1, func(ev *evaluator, args []Sequence) (Sequence, error) {
+		"number": {1, 1, func(ctx *Context, rec *explain.Recorder, args []Sequence) (Sequence, error) {
 			if len(args[0]) == 0 {
 				return nil, nil
 			}
@@ -202,10 +233,10 @@ func init() {
 			}
 			return Sequence{n}, nil
 		}},
-		"count": {1, 1, func(ev *evaluator, args []Sequence) (Sequence, error) {
+		"count": {1, 1, func(ctx *Context, rec *explain.Recorder, args []Sequence) (Sequence, error) {
 			return Sequence{float64(len(args[0]))}, nil
 		}},
-		"sum": {1, 1, func(ev *evaluator, args []Sequence) (Sequence, error) {
+		"sum": {1, 1, func(ctx *Context, rec *explain.Recorder, args []Sequence) (Sequence, error) {
 			total := 0.0
 			for _, item := range args[0] {
 				n, ok := itemNumber(item)
@@ -216,7 +247,7 @@ func init() {
 			}
 			return Sequence{total}, nil
 		}},
-		"avg": {1, 1, func(ev *evaluator, args []Sequence) (Sequence, error) {
+		"avg": {1, 1, func(ctx *Context, rec *explain.Recorder, args []Sequence) (Sequence, error) {
 			if len(args[0]) == 0 {
 				return nil, nil
 			}
@@ -232,7 +263,7 @@ func init() {
 		}},
 		"min": {1, 1, extremum(func(a, b float64) bool { return a < b })},
 		"max": {1, 1, extremum(func(a, b float64) bool { return a > b })},
-		"distinct-values": {1, 1, func(ev *evaluator, args []Sequence) (Sequence, error) {
+		"distinct-values": {1, 1, func(ctx *Context, rec *explain.Recorder, args []Sequence) (Sequence, error) {
 			seen := map[string]bool{}
 			var out Sequence
 			for _, item := range args[0] {
@@ -244,22 +275,22 @@ func init() {
 			}
 			return out, nil
 		}},
-		"not": {1, 1, func(ev *evaluator, args []Sequence) (Sequence, error) {
+		"not": {1, 1, func(ctx *Context, rec *explain.Recorder, args []Sequence) (Sequence, error) {
 			return Sequence{!EffectiveBool(args[0])}, nil
 		}},
-		"true": {0, 0, func(ev *evaluator, args []Sequence) (Sequence, error) {
+		"true": {0, 0, func(ctx *Context, rec *explain.Recorder, args []Sequence) (Sequence, error) {
 			return Sequence{true}, nil
 		}},
-		"false": {0, 0, func(ev *evaluator, args []Sequence) (Sequence, error) {
+		"false": {0, 0, func(ctx *Context, rec *explain.Recorder, args []Sequence) (Sequence, error) {
 			return Sequence{false}, nil
 		}},
-		"exists": {1, 1, func(ev *evaluator, args []Sequence) (Sequence, error) {
+		"exists": {1, 1, func(ctx *Context, rec *explain.Recorder, args []Sequence) (Sequence, error) {
 			return Sequence{len(args[0]) > 0}, nil
 		}},
-		"empty": {1, 1, func(ev *evaluator, args []Sequence) (Sequence, error) {
+		"empty": {1, 1, func(ctx *Context, rec *explain.Recorder, args []Sequence) (Sequence, error) {
 			return Sequence{len(args[0]) == 0}, nil
 		}},
-		"name": {1, 1, func(ev *evaluator, args []Sequence) (Sequence, error) {
+		"name": {1, 1, func(ctx *Context, rec *explain.Recorder, args []Sequence) (Sequence, error) {
 			if len(args[0]) == 0 {
 				return Sequence{""}, nil
 			}
@@ -272,7 +303,7 @@ func init() {
 				return Sequence{""}, nil
 			}
 		}},
-		"local-name": {1, 1, func(ev *evaluator, args []Sequence) (Sequence, error) {
+		"local-name": {1, 1, func(ctx *Context, rec *explain.Recorder, args []Sequence) (Sequence, error) {
 			if len(args[0]) == 0 {
 				return Sequence{""}, nil
 			}
@@ -281,7 +312,7 @@ func init() {
 			}
 			return Sequence{""}, nil
 		}},
-		"data": {1, 1, func(ev *evaluator, args []Sequence) (Sequence, error) {
+		"data": {1, 1, func(ctx *Context, rec *explain.Recorder, args []Sequence) (Sequence, error) {
 			out := make(Sequence, len(args[0]))
 			for i, item := range args[0] {
 				out[i] = ItemString(item)
@@ -291,8 +322,8 @@ func init() {
 	}
 }
 
-func extremum(better func(a, b float64) bool) func(*evaluator, []Sequence) (Sequence, error) {
-	return func(ev *evaluator, args []Sequence) (Sequence, error) {
+func extremum(better func(a, b float64) bool) BuiltinFunc {
+	return func(ctx *Context, rec *explain.Recorder, args []Sequence) (Sequence, error) {
 		if len(args[0]) == 0 {
 			return nil, nil
 		}

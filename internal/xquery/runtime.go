@@ -1,0 +1,54 @@
+package xquery
+
+import (
+	"thalia/internal/xmldom"
+)
+
+// This file exports the interpreter's value-level semantics for the
+// compiled-plan engine in internal/xquery/plan. The two engines must agree
+// item-for-item — the differential conformance suite and FuzzCompileEval
+// enforce it — so everything below delegates to the single implementation
+// the interpreter itself runs on, rather than duplicating it.
+
+// DynErrorf builds a *DynamicError, the runtime failure class both engines
+// report. The plan engine uses it so interpreter and compiled evaluations of
+// the same bad input fail with the same error class and message.
+func DynErrorf(format string, args ...any) error {
+	return dynErrf(format, args...)
+}
+
+// GeneralCompare implements XQuery general comparison (existential over both
+// sequences, with the benchmark's SQL-LIKE '%' extension on equality).
+func GeneralCompare(op string, l, r Sequence) bool {
+	return generalCompare(op, l, r)
+}
+
+// Arith applies a binary arithmetic operator with the interpreter's empty-
+// sequence and division-by-zero semantics.
+func Arith(op string, l, r Sequence) (Sequence, error) {
+	return arith(op, l, r)
+}
+
+// SequenceLess is the order-by comparison: first items compared numerically
+// when both parse as numbers, as strings otherwise.
+func SequenceLess(a, b Sequence) bool {
+	return sequenceLess(a, b)
+}
+
+// SequenceString atomizes a whole sequence, space-joined — the constructor
+// attribute-value semantics.
+func SequenceString(s Sequence) string {
+	return sequenceString(s)
+}
+
+// ItemNumber atomizes one item to a number when possible.
+func ItemNumber(item Item) (float64, bool) {
+	return itemNumber(item)
+}
+
+// AppendContent adds evaluated content to an element under construction:
+// nodes are deep-copied, attribute nodes become attributes, and adjacent
+// atomic values are joined with spaces into one text node.
+func AppendContent(el *xmldom.Element, s Sequence) {
+	appendSequence(el, s)
+}
