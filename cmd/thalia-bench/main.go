@@ -2,6 +2,7 @@
 // on their results.
 //
 //	thalia-bench engine  [-out BENCH_engine.json] [-runs 3] [-pool N]
+//	                     [-profile DIR]
 //	thalia-bench chaos   [-out BENCH_chaos.json] [-runs 3] [-pool N] [-seed 1]
 //	thalia-bench server  [-out BENCH_server.json] [-clients 8] [-requests 50]
 //	thalia-bench plan    [-runs 200]
@@ -10,17 +11,22 @@
 //
 // engine times benchmark.MeasureEngine (the uncached sequential seed path
 // vs the shared-prep-cached sequential and pooled configurations, over the
-// four built-in systems); chaos times benchmark.MeasureChaos (the same
-// evaluation under a seeded standard-mix fault plan with the default
-// resilience policy — the cost of retries, backoff, and breaker accounting);
-// server drives website.MeasureServer (N concurrent clients replaying the
+// four built-in systems, plus the xquery_eval interpreter-vs-plan engine
+// rows); -profile writes cpu.pprof and heap.pprof for the measurement to
+// DIR, so a red gate in CI is diagnosable from the uploaded artifact. chaos
+// times benchmark.MeasureChaos (the same evaluation under a seeded
+// standard-mix fault plan with the default resilience policy — the cost of
+// retries, backoff, and breaker accounting); server drives
+// website.MeasureServer (N concurrent clients replaying the
 // catalog/schema/query routes); plan reports per-query ns/op for the
-// reference interpreter vs the compiled-plan engine, checking result
+// compiled-plan engine — the default execution path — against the
+// reference interpreter (the -engine=interp escape hatch), checking result
 // equality as it goes. compare reads two artifacts of the same suite and
 // fails (exit 1) if the fresh run regressed beyond the tolerance:
-// engine/chaos ns/op per configuration (including the plan_cache row) and
-// the seq→cached speedup ratio, server p95 per route. -slowdown multiplies
-// the fresh numbers first — an injected regression that proves the gate
+// engine/chaos ns/op per configuration (including the plan_cache and
+// xquery_eval rows), the seq→cached speedup ratio and the interp→plan
+// xquery_speedup ratio, server p95 per route. -slowdown multiplies the
+// fresh numbers first — an injected regression that proves the gate
 // actually trips.
 package main
 
@@ -30,7 +36,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"thalia/internal/benchmark"
@@ -42,7 +50,6 @@ import (
 	"thalia/internal/ufmw"
 	"thalia/internal/website"
 	"thalia/internal/xquery"
-	"thalia/internal/xquery/plan"
 )
 
 func main() {
@@ -81,11 +88,19 @@ func engineCmd(args []string, out io.Writer) error {
 	path := fs.String("out", "BENCH_engine.json", "artifact path")
 	runs := fs.Int("runs", 3, "EvaluateAll executions per configuration")
 	pool := fs.Int("pool", runtime.GOMAXPROCS(0), "parallel pool size to measure")
+	profileDir := fs.String("profile", "", "write cpu.pprof and heap.pprof for the measurement to this directory")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *pool < 2 {
 		*pool = 2
+	}
+	if *profileDir != "" {
+		stop, err := startProfiles(*profileDir)
+		if err != nil {
+			return err
+		}
+		defer stop()
 	}
 	rep, err := benchmark.MeasureEngine(*runs, []int{*pool}, systems()...)
 	if err != nil {
@@ -94,8 +109,46 @@ func engineCmd(args []string, out io.Writer) error {
 	if err := rep.WriteJSON(*path); err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "engine: %d configs, speedup %.2fx, wrote %s\n", len(rep.Timings), rep.Speedup, *path)
+	fmt.Fprintf(out, "engine: %d configs, speedup %.2fx, xquery speedup %.2fx, wrote %s\n",
+		len(rep.Timings), rep.Speedup, rep.XQuerySpeedup, *path)
 	return nil
+}
+
+// startProfiles begins a CPU profile in dir and returns a stop function
+// that finishes it and writes a heap profile alongside (cpu.pprof,
+// heap.pprof) — the artifacts CI uploads so a red benchmark gate is
+// diagnosable from the run page without a local repro.
+func startProfiles(dir string) (func(), error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	cpu, err := os.Create(filepath.Join(dir, "cpu.pprof"))
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(cpu); err != nil {
+		cpu.Close()
+		return nil, err
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		if err := cpu.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "thalia-bench: close cpu profile:", err)
+		}
+		heap, err := os.Create(filepath.Join(dir, "heap.pprof"))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "thalia-bench: heap profile:", err)
+			return
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(heap); err != nil {
+			fmt.Fprintln(os.Stderr, "thalia-bench: heap profile:", err)
+		}
+		// Close explicitly: buffered profile writes surface their errors here.
+		if err := heap.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "thalia-bench: close heap profile:", err)
+		}
+	}, nil
 }
 
 func chaosCmd(args []string, out io.Writer) error {
@@ -144,12 +197,14 @@ func serverCmd(args []string, out io.Writer) error {
 	return nil
 }
 
-// planCmd reports per-query interpreter vs compiled-plan timings over the
-// benchmark queries, evaluated against the extracted catalogs. Each query is
-// compiled once and re-evaluated -runs times — the reuse pattern the plan
-// cache gives a real run — and results are checked for equality between the
-// engines before timing, so the report cannot quietly compare different
-// answers.
+// planCmd reports per-query compiled-plan vs reference-interpreter timings
+// over the benchmark queries, evaluated against the extracted catalogs. The
+// compiled plan is the default execution path, so its result is the ground
+// truth here too: each query is compiled through a runner-style PrepCache
+// plan cache and re-evaluated -runs times — the reuse pattern a real run
+// gives — and the interpreter (the -engine=interp escape hatch) is checked
+// against the plan's answer before timing, so the report cannot quietly
+// compare different answers.
 func planCmd(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("plan", flag.ContinueOnError)
 	runs := fs.Int("runs", 200, "evaluations per engine per query")
@@ -160,6 +215,7 @@ func planCmd(args []string, out io.Writer) error {
 		*runs = 1
 	}
 	resolve := catalog.Resolver()
+	prep := benchmark.NewPrepCache()
 	fmt.Fprintf(out, "%-5s %14s %14s %8s\n", "query", "interp ns/op", "plan ns/op", "ratio")
 	var totalI, totalP int64
 	for _, q := range benchmark.Queries() {
@@ -167,18 +223,18 @@ func planCmd(args []string, out io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("q%02d: parse: %w", q.ID, err)
 		}
-		p, err := plan.Compile(expr)
+		p, err := prep.Plans.Get(q.XQuery)
 		if err != nil {
 			return fmt.Errorf("q%02d: compile: %w", q.ID, err)
 		}
 		ctx := xquery.NewContext(resolve)
-		want, werr := xquery.Eval(expr, ctx)
 		got, gerr := p.Eval(ctx)
+		want, werr := xquery.Eval(expr, ctx)
 		if (werr == nil) != (gerr == nil) || (werr != nil && werr.Error() != gerr.Error()) {
-			return fmt.Errorf("q%02d: engines disagree: interpreter %v vs plan %v", q.ID, werr, gerr)
+			return fmt.Errorf("q%02d: engines disagree: plan %v vs interpreter %v", q.ID, gerr, werr)
 		}
-		if werr == nil && xquery.SequenceString(want) != xquery.SequenceString(got) {
-			return fmt.Errorf("q%02d: engines disagree on the result", q.ID)
+		if gerr == nil && xquery.SequenceString(got) != xquery.SequenceString(want) {
+			return fmt.Errorf("q%02d: interpreter disagrees with the plan result", q.ID)
 		}
 		start := time.Now()
 		for i := 0; i < *runs; i++ {
@@ -317,6 +373,21 @@ func compareEngine(baseRaw, freshRaw []byte, tol, slowdown float64, out io.Write
 				fmt.Sprintf("speedup: %.2fx vs baseline %.2fx (floor %.2fx)", fresh.Speedup, base.Speedup, floor))
 		}
 		fmt.Fprintf(out, "  %-34s %13.2fx %13.2fx         %s\n", "speedup", base.Speedup, fresh.Speedup, status)
+	}
+	// XQuerySpeedup gates the engine flip the same way: the compiled-plan
+	// engine must stay ahead of the reference interpreter by at least the
+	// tolerance's share of the committed ratio.
+	if base.XQuerySpeedup > 0 {
+		floor := base.XQuerySpeedup * (1 - tol)
+		status := "ok"
+		if fresh.XQuerySpeedup < floor {
+			status = "REGRESSED"
+			regressions = append(regressions,
+				fmt.Sprintf("xquery_speedup: %.2fx vs baseline %.2fx (floor %.2fx)",
+					fresh.XQuerySpeedup, base.XQuerySpeedup, floor))
+		}
+		fmt.Fprintf(out, "  %-34s %13.2fx %13.2fx         %s\n",
+			"xquery_speedup", base.XQuerySpeedup, fresh.XQuerySpeedup, status)
 	}
 	return regressions, nil
 }

@@ -3,11 +3,15 @@
 // doc() URIs resolve against the built-in THALIA testbed instead
 // (doc("cmu.xml") is CMU's extracted catalog).
 //
+// Queries run on the compiled-plan engine by default; -engine=interp
+// selects the reference tree-walking interpreter (the differential escape
+// hatch — both engines produce identical results and errors).
+//
 // Usage:
 //
 //	xq 'FOR $b in doc("data.xml")/root/item RETURN $b'
 //	xq -testbed 'FOR $b in doc("cmu.xml")/cmu/Course RETURN $b/Lecturer'
-//	xq -f query.xq
+//	xq -engine=interp -f query.xq
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 	"thalia/internal/explain"
 	"thalia/internal/xmldom"
 	"thalia/internal/xquery"
+	"thalia/internal/xquery/plan"
 )
 
 func main() {
@@ -28,15 +33,16 @@ func main() {
 	testbed := flag.Bool("testbed", false, "resolve doc() URIs against the built-in testbed")
 	xmlOut := flag.Bool("xml", false, "print element results as XML instead of text values")
 	explainTrace := flag.Bool("explain", false, "print an operator trace of the evaluation to stderr")
+	engine := flag.String("engine", plan.EnginePlan, "execution engine: plan (compiled, default) or interp (reference interpreter)")
 	flag.Parse()
 
-	if err := run(*file, *testbed, *xmlOut, *explainTrace, flag.Args()); err != nil {
+	if err := run(*file, *testbed, *xmlOut, *explainTrace, *engine, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "xq:", err)
 		os.Exit(1)
 	}
 }
 
-func run(file string, testbed, xmlOut, explainTrace bool, args []string) error {
+func run(file string, testbed, xmlOut, explainTrace bool, engine string, args []string) error {
 	var query string
 	switch {
 	case file != "":
@@ -64,12 +70,16 @@ func run(file string, testbed, xmlOut, explainTrace bool, args []string) error {
 			return xmldom.Parse(f)
 		})
 	}
+	eval, err := plan.EngineByName(engine)
+	if err != nil {
+		return err
+	}
 	var rec *explain.Recorder
 	if explainTrace {
 		rec = explain.NewRecorder()
 		ctx.Explain = rec
 	}
-	seq, err := xquery.EvalQuery(query, ctx)
+	seq, err := eval(query, ctx)
 	if rec != nil {
 		fmt.Fprint(os.Stderr, rec.Trace().Text())
 	}

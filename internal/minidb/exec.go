@@ -10,6 +10,28 @@ import (
 // joined row.
 type binding struct {
 	cols []boundCol
+	// memo caches successful ColRef resolutions for this binding. A binding
+	// lives for one execSelect call on one goroutine, but the same parsed
+	// ColRef nodes are evaluated once per scanned row — the memo turns the
+	// per-row name search (and its case folding) into a pointer lookup.
+	memo map[*ColRef]int
+}
+
+// resolve is binding.lookup memoized by ColRef identity; only successes are
+// cached, so error paths stay identical to lookup.
+func (b *binding) resolve(c *ColRef) (int, error) {
+	if i, ok := b.memo[c]; ok {
+		return i, nil
+	}
+	i, err := b.lookup(c.Table, c.Column)
+	if err != nil {
+		return 0, err
+	}
+	if b.memo == nil {
+		b.memo = make(map[*ColRef]int)
+	}
+	b.memo[c] = i
+	return i, nil
 }
 
 type boundCol struct {
@@ -200,7 +222,7 @@ func (db *DB) evalSQL(e SQLExpr, bind *binding, row []Value) (Value, error) {
 	case *SQLLit:
 		return x.Val, nil
 	case *ColRef:
-		i, err := bind.lookup(x.Table, x.Column)
+		i, err := bind.resolve(x)
 		if err != nil {
 			return Null, err
 		}

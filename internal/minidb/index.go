@@ -1,8 +1,9 @@
 package minidb
 
-// This file implements the value-index fast path for single-table WHERE
-// scans: a lazily built per-column equality index over Text cells, consulted
-// when the leftmost AND-conjunct of a WHERE clause is `column = 'literal'`.
+// This file implements the value-index fast path for WHERE scans: a lazily
+// built per-column equality index over Text cells, consulted for
+// `column = 'literal'` conjuncts of single-table scans and for
+// `t0.col = t1.col` join-key conjuncts of two-table scans.
 //
 // The index is a pure pruning device — every surviving candidate row still
 // has the full WHERE predicate evaluated against it — so it can only be used
@@ -10,17 +11,32 @@ package minidb
 //
 //   - Only Text cells are keyed. Compare() coerces numerically whenever
 //     either side is a number (Text "3.0" equals Number 3), so non-Text
-//     cells go to a residual list that is always scanned.
-//   - Only Text literals probe the map, for the same reason.
-//   - Only the LEFTMOST conjunct reached through AND nodes qualifies: on a
-//     pruned row the interpreter would evaluate that equality first (column
-//     reference + literal + Compare, none of which can fail once the column
-//     resolves), get false, and short-circuit the rest of the predicate —
-//     so skipping the row cannot suppress an error a full scan would raise.
+//     cells go to a residual list that is always scanned. For the same
+//     reason only Text literals (and, for join keys, Text outer cells)
+//     probe the map: two Texts always compare as exact strings.
+//   - A conjunct of the AND spine may probe only when every conjunct the
+//     interpreter would evaluate BEFORE it is infallible (cannot error on
+//     any row). On a pruned row those earlier conjuncts either return false
+//     — short-circuiting exactly like the full scan — or all return true,
+//     in which case the probing conjunct itself (an infallible equality)
+//     evaluates to false and short-circuits the rest of the predicate. So
+//     skipping the row cannot suppress an error a full scan would raise,
+//     and candidates are visited in ascending row order, so the first error
+//     a scan raises is the same one the full scan would raise.
 
 // eqIndexDisabled turns the fast path off; tests flip it to prove scans
 // return byte-identical results with and without the index.
 var eqIndexDisabled = false
+
+// SetEqIndexDisabled turns the equality-index fast path off (true) or back
+// on (false), returning the previous setting. It exists so differential
+// tests outside this package can compare indexed and unindexed execution;
+// it is not safe to flip while queries are running.
+func SetEqIndexDisabled(disabled bool) (previous bool) {
+	previous = eqIndexDisabled
+	eqIndexDisabled = disabled
+	return previous
+}
 
 // eqIndex is an equality index over one column of a table.
 type eqIndex struct {
@@ -87,20 +103,68 @@ func (ix *eqIndex) candidates(key string) []int {
 	return append(out, ix.other[j:]...)
 }
 
-// leftmostConjunct descends through AND nodes to the first conjunct the
-// interpreter would evaluate.
-func leftmostConjunct(e SQLExpr) SQLExpr {
-	for {
-		b, ok := e.(*SQLBinary)
-		if !ok || b.Op != "AND" {
-			return e
+// intersect merges two ascending candidate lists into their ascending
+// intersection.
+func intersect(a, b []int) []int {
+	var out []int
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
 		}
-		e = b.L
+	}
+	return out
+}
+
+// andSpine flattens nested AND nodes into the conjunct list in the order
+// the interpreter evaluates them (left to right, depth first).
+func andSpine(e SQLExpr) []SQLExpr {
+	b, ok := e.(*SQLBinary)
+	if !ok || b.Op != "AND" {
+		return []SQLExpr{e}
+	}
+	return append(andSpine(b.L), andSpine(b.R)...)
+}
+
+// infallible reports whether evaluating e can never return an error, on any
+// row. This is what licenses skipping a row: a pruned conjunct's
+// short-circuit only matches the full scan if nothing evaluated before the
+// false verdict could have failed. Arithmetic (non-numeric operands,
+// division by zero), unary minus, function calls, and column references
+// that do not resolve all may error, so they are fallible; literals,
+// resolvable columns, IS NULL, NOT, comparisons, LIKE, ||, and AND/OR over
+// infallible operands cannot.
+func infallible(e SQLExpr, bind *binding) bool {
+	switch x := e.(type) {
+	case *SQLLit:
+		return true
+	case *ColRef:
+		_, err := bind.lookup(x.Table, x.Column)
+		return err == nil
+	case *SQLIsNull:
+		return infallible(x.X, bind)
+	case *SQLUnary:
+		return x.Op == "NOT" && infallible(x.X, bind)
+	case *SQLBinary:
+		switch x.Op {
+		case "AND", "OR", "=", "<>", "<", "<=", ">", ">=", "LIKE", "||":
+			return infallible(x.L, bind) && infallible(x.R, bind)
+		}
+		return false // arithmetic and division can error
+	default:
+		return false
 	}
 }
 
 // eqProbe extracts the (column, text-literal) pair from a qualifying
-// leftmost conjunct: `col = 'lit'` or `'lit' = col`.
+// conjunct: `col = 'lit'` or `'lit' = col`.
 func eqProbe(e SQLExpr) (*ColRef, string, bool) {
 	b, ok := e.(*SQLBinary)
 	if !ok || b.Op != "=" {
@@ -119,25 +183,69 @@ func eqProbe(e SQLExpr) (*ColRef, string, bool) {
 	return nil, "", false
 }
 
-// indexedScan attempts the fast path for a single-table SELECT whose WHERE
-// has a qualifying equality conjunct. It returns the filtered rows (the full
-// WHERE evaluated on every candidate) and whether the fast path applied.
+// joinProbe extracts the column pair from a join-key conjunct:
+// `col = col` with the two sides resolving to different positions.
+func joinProbe(e SQLExpr) (*ColRef, *ColRef, bool) {
+	b, ok := e.(*SQLBinary)
+	if !ok || b.Op != "=" {
+		return nil, nil, false
+	}
+	l, lok := b.L.(*ColRef)
+	r, rok := b.R.(*ColRef)
+	if !lok || !rok {
+		return nil, nil, false
+	}
+	return l, r, true
+}
+
+// indexedScan attempts the fast path for a SELECT whose WHERE has
+// qualifying equality conjuncts: single-table scans probe the value index
+// with every eligible `col = 'lit'` conjunct, two-table scans additionally
+// probe the inner table's index with the join key of each outer row. It
+// returns the filtered rows (the full WHERE evaluated on every candidate)
+// and whether the fast path applied.
 func (db *DB) indexedScan(stmt *SelectStmt, bind *binding, tables []*Table) ([][]Value, bool, error) {
-	if eqIndexDisabled || len(tables) != 1 || stmt.Where == nil {
+	if eqIndexDisabled || stmt.Where == nil {
 		return nil, false, nil
 	}
-	col, key, ok := eqProbe(leftmostConjunct(stmt.Where))
-	if !ok {
+	switch len(tables) {
+	case 1:
+		return db.indexedSingle(stmt, bind, tables[0])
+	case 2:
+		return db.indexedJoin(stmt, bind, tables)
+	}
+	return nil, false, nil
+}
+
+// indexedSingle intersects the candidate sets of every eligible literal
+// probe of a single-table WHERE and evaluates the full predicate over the
+// survivors in ascending row order.
+func (db *DB) indexedSingle(stmt *SelectStmt, bind *binding, t *Table) ([][]Value, bool, error) {
+	var cand []int
+	have := false
+	for _, conj := range andSpine(stmt.Where) {
+		if col, key, ok := eqProbe(conj); ok {
+			// With a single table the joined-row position is the column
+			// position; a failed lookup falls through to the fallibility
+			// check below, which stops the probe walk.
+			if pos, err := bind.lookup(col.Table, col.Column); err == nil {
+				c := t.eqIndexFor(pos).candidates(key)
+				if !have {
+					cand, have = c, true
+				} else {
+					cand = intersect(cand, c)
+				}
+			}
+		}
+		if !infallible(conj, bind) {
+			break // later conjuncts may run after an error; they cannot probe
+		}
+	}
+	if !have {
 		return nil, false, nil
 	}
-	// With a single table the joined-row position is the column position.
-	pos, err := bind.lookup(col.Table, col.Column)
-	if err != nil {
-		return nil, false, nil // let the full scan surface the lookup error
-	}
-	t := tables[0]
 	var joined [][]Value
-	for _, i := range t.eqIndexFor(pos).candidates(key) {
+	for _, i := range cand {
 		row := append([]Value(nil), t.Rows[i]...)
 		v, err := db.evalSQL(stmt.Where, bind, row)
 		if err != nil {
@@ -149,4 +257,113 @@ func (db *DB) indexedScan(stmt *SelectStmt, bind *binding, tables []*Table) ([][
 		joined = append(joined, row)
 	}
 	return joined, true, nil
+}
+
+// litProbe is one resolved `col = 'lit'` conjunct: the joined-row position
+// it constrains and the literal it probes with.
+type litProbe struct {
+	pos int
+	key string
+}
+
+// keyProbe is one resolved join-key conjunct of a two-table scan: the
+// outer-row position supplying the key and the inner table's local column.
+type keyProbe struct {
+	outerPos int
+	innerCol int
+}
+
+// indexedJoin runs a two-table nested-loop join through the value index:
+// outer rows are pruned by the outer table's literal probes, and for each
+// outer row the inner candidates come from intersecting the inner table's
+// literal probes with an index lookup on each join key. A non-Text outer
+// key cell falls back to scanning every inner row for that outer row, as
+// does an outer row whose width disagrees with its table's schema (joined
+// positions would shift). Results and errors are identical to the full
+// nested loop: candidates are visited in loop order and the full WHERE is
+// evaluated on every candidate.
+func (db *DB) indexedJoin(stmt *SelectStmt, bind *binding, tables []*Table) ([][]Value, bool, error) {
+	t0, t1 := tables[0], tables[1]
+	w0 := len(t0.Columns)
+	var outerLits, innerLits []litProbe
+	var keys []keyProbe
+	for _, conj := range andSpine(stmt.Where) {
+		if col, key, ok := eqProbe(conj); ok {
+			if pos, err := bind.lookup(col.Table, col.Column); err == nil {
+				if pos < w0 {
+					outerLits = append(outerLits, litProbe{pos: pos, key: key})
+				} else {
+					innerLits = append(innerLits, litProbe{pos: pos - w0, key: key})
+				}
+			}
+		} else if l, r, ok := joinProbe(conj); ok {
+			lp, lerr := bind.lookup(l.Table, l.Column)
+			rp, rerr := bind.lookup(r.Table, r.Column)
+			if lerr == nil && rerr == nil {
+				if lp >= w0 {
+					lp, rp = rp, lp
+				}
+				if lp < w0 && rp >= w0 {
+					keys = append(keys, keyProbe{outerPos: lp, innerCol: rp - w0})
+				}
+			}
+		}
+		if !infallible(conj, bind) {
+			break
+		}
+	}
+	if len(outerLits) == 0 && len(innerLits) == 0 && len(keys) == 0 {
+		return nil, false, nil
+	}
+
+	outer := ascending(len(t0.Rows))
+	for _, p := range outerLits {
+		outer = intersect(outer, t0.eqIndexFor(p.pos).candidates(p.key))
+	}
+	innerBase := ascending(len(t1.Rows))
+	for _, p := range innerLits {
+		innerBase = intersect(innerBase, t1.eqIndexFor(p.pos).candidates(p.key))
+	}
+	allInner := ascending(len(t1.Rows))
+
+	var joined [][]Value
+	for _, i := range outer {
+		r0 := t0.Rows[i]
+		inner := innerBase
+		if len(r0) != w0 {
+			// A ragged outer row shifts every inner position in the joined
+			// row, so no inner-side pruning decision is trustworthy.
+			inner = allInner
+		} else {
+			for _, kp := range keys {
+				cell := r0[kp.outerPos]
+				if cell.Kind != KindText {
+					continue // Compare may coerce; only exact-string probes prune
+				}
+				inner = intersect(inner, t1.eqIndexFor(kp.innerCol).candidates(cell.S))
+			}
+		}
+		for _, j := range inner {
+			row := make([]Value, 0, len(r0)+len(t1.Rows[j]))
+			row = append(append(row, r0...), t1.Rows[j]...)
+			v, err := db.evalSQL(stmt.Where, bind, row)
+			if err != nil {
+				return nil, true, err
+			}
+			if v.IsNull() || !v.AsBool() {
+				continue
+			}
+			joined = append(joined, row)
+		}
+	}
+	return joined, true, nil
+}
+
+// ascending returns the identity candidate list [0, n).
+func ascending(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
 }

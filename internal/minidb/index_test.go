@@ -6,10 +6,11 @@ import (
 	"testing"
 )
 
-// mixedDB builds a table whose "code" column mixes Text, Number, Bool and
+// mixedDB builds tables whose "code" columns mix Text, Number, Bool and
 // NULL cells — the cases where Compare's numeric coercion makes a naive
 // string-keyed index unsound — so the identity tests cover the residual
-// path, not just the happy Text-vs-Text case.
+// path, not just the happy Text-vs-Text case. The second table gives the
+// join-key probes the same mixed-kind key on both sides.
 func mixedDB(t testing.TB) *DB {
 	db := NewDB()
 	tab := NewTable("items", "code", "qty", "label")
@@ -29,6 +30,21 @@ func mixedDB(t testing.TB) *DB {
 		}
 	}
 	db.CreateTable(tab)
+	tags := NewTable("tags", "code", "tag")
+	for _, r := range [][]Value{
+		{Text("a1"), Text("alpha")},
+		{Text("3"), Text("digits")},
+		{Number(3), Text("numeric")},
+		{Null, Text("missing")},
+		{Text("a1"), Text("alpha-dup")},
+		{Bool(true), Text("boolean")},
+		{Text("zz"), Text("orphan")},
+	} {
+		if err := tags.Insert(r...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.CreateTable(tags)
 	return db
 }
 
@@ -59,13 +75,35 @@ var indexIdentityQueries = []string{
 	// Equality as the leftmost AND-conjunct, with more predicate behind it.
 	`SELECT label FROM items WHERE code = 'a1' AND qty > 1`,
 	`SELECT label FROM items WHERE code = '3' AND qty < 3 ORDER BY qty DESC`,
-	// Shapes the index must decline: OR at the top, equality on the right,
-	// non-text literal, qualified reference through an alias.
-	`SELECT * FROM items WHERE code = 'a1' OR qty = 4`,
+	// Multi-conjunct probes: the equality sits behind infallible conjuncts
+	// (comparisons, LIKE, IS NULL, NOT), or two equalities intersect.
 	`SELECT * FROM items WHERE qty > 1 AND code = 'a1'`,
+	`SELECT * FROM items WHERE label LIKE '%e%' AND code = 'a1' AND qty < 6`,
+	`SELECT * FROM items WHERE code IS NOT NULL AND code = '3'`,
+	`SELECT * FROM items WHERE NOT (qty > 6) AND code = 'true'`,
+	`SELECT * FROM items WHERE code = 'a1' AND label = 'first'`,
+	`SELECT * FROM items WHERE code = 'a1' AND code = 'a1'`,
+	`SELECT * FROM items WHERE code = 'a1' AND code = '3'`,
+	// A fallible conjunct fences off every probe behind it: arithmetic may
+	// error, so the trailing equality must not prune.
+	`SELECT * FROM items WHERE qty + 1 > 2 AND code = 'a1'`,
+	`SELECT * FROM items WHERE length(label) > 4 AND code = 'a1'`,
+	// Shapes the index must decline: OR at the top, non-text literal.
+	`SELECT * FROM items WHERE code = 'a1' OR qty = 4`,
 	`SELECT * FROM items WHERE qty = 3`,
 	`SELECT i.label FROM items i WHERE i.code = 'a1'`,
 	`SELECT DISTINCT code FROM items WHERE code = 'a1'`,
+	// Join-key probes: mixed-kind keys on both sides, literal probes on
+	// either table, key conjuncts in both orders, self-joins.
+	`SELECT i.label, t.tag FROM items i, tags t WHERE i.code = t.code`,
+	`SELECT i.label, t.tag FROM items i, tags t WHERE t.code = i.code`,
+	`SELECT i.label, t.tag FROM items i, tags t WHERE i.code = t.code AND t.tag = 'alpha'`,
+	`SELECT i.label, t.tag FROM items i, tags t WHERE i.code = 'a1' AND i.code = t.code`,
+	`SELECT i.label, t.tag FROM items i, tags t WHERE i.code = t.code AND i.qty > 2 ORDER BY t.tag`,
+	`SELECT a.tag, b.tag FROM tags a, tags b WHERE a.code = b.code`,
+	`SELECT i.label FROM items i, tags t WHERE t.tag = 'orphan'`,
+	// A fallible conjunct fences join-key pruning too.
+	`SELECT i.label, t.tag FROM items i, tags t WHERE i.qty * 2 > 3 AND i.code = t.code`,
 }
 
 // TestEqIndexResultIdentity proves the value index is invisible: every scan
@@ -131,6 +169,78 @@ func TestEqIndexStaleRebuild(t *testing.T) {
 	}
 	if len(res.Rows) != 3 {
 		t.Fatalf("after insert: %d rows, want 3", len(res.Rows))
+	}
+}
+
+// TestEqIndexJoinErrorIdentity extends the pruning-safety argument to join
+// scans: an error in a conjunct after the join key must surface identically
+// whether or not inner rows were pruned, including which error comes first.
+func TestEqIndexJoinErrorIdentity(t *testing.T) {
+	for _, q := range []string{
+		`SELECT * FROM items i, tags t WHERE i.code = t.code AND i.qty / 0 > 1`,
+		`SELECT * FROM items i, tags t WHERE i.code = t.code AND t.tag + 1 > 0`,
+		`SELECT * FROM items i, tags t WHERE t.tag = 'alpha' AND i.label - 1 > 0`,
+	} {
+		_, ierr := mixedDB(t).Query(q)
+		prev := SetEqIndexDisabled(true)
+		_, serr := mixedDB(t).Query(q)
+		SetEqIndexDisabled(prev)
+		if ierr == nil || serr == nil || ierr.Error() != serr.Error() {
+			t.Fatalf("%s: error divergence: indexed=%v scanned=%v", q, ierr, serr)
+		}
+	}
+}
+
+// TestEqIndexJoinStaleRebuild proves inserts into either side of a join
+// after a first indexed query are visible to the next one.
+func TestEqIndexJoinStaleRebuild(t *testing.T) {
+	db := mixedDB(t)
+	const q = `SELECT i.label, t.tag FROM items i, tags t WHERE i.code = t.code AND t.tag = 'late'`
+	res, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Fatalf("before insert: %d rows, want 0", len(res.Rows))
+	}
+	tags, err := db.Table("tags")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tags.Insert(Text("a1"), Text("late")); err != nil {
+		t.Fatal(err)
+	}
+	res, err = db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("after inner insert: %d rows, want 2 (both a1 items)", len(res.Rows))
+	}
+	items, err := db.Table("items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := items.Insert(Text("a1"), Number(10), Text("later item")); err != nil {
+		t.Fatal(err)
+	}
+	res, err = db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("after outer insert: %d rows, want 3", len(res.Rows))
+	}
+}
+
+// TestSetEqIndexDisabled pins the exported toggle's previous-value return,
+// which cross-package differential tests rely on to restore state.
+func TestSetEqIndexDisabled(t *testing.T) {
+	if prev := SetEqIndexDisabled(true); prev {
+		t.Fatal("index reported disabled at test start")
+	}
+	if prev := SetEqIndexDisabled(false); !prev {
+		t.Fatal("SetEqIndexDisabled(true) did not stick")
 	}
 }
 

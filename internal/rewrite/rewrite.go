@@ -502,6 +502,11 @@ func resolvePath(el *xmldom.Element, path string) []*xmldom.Element {
 	if path == "" {
 		return []*xmldom.Element{el}
 	}
+	// Nearly every mapping path is a single step; skip the Split and the
+	// intermediate slices for those.
+	if !strings.Contains(path, "/") {
+		return el.ChildrenNamed(path)
+	}
 	cur := []*xmldom.Element{el}
 	for _, step := range strings.Split(path, "/") {
 		var next []*xmldom.Element

@@ -251,6 +251,14 @@ func (e *Element) Text() string {
 // DeepText returns all text data inside e, including text of descendants,
 // in document order, trimmed of surrounding whitespace.
 func (e *Element) DeepText() string {
+	// Leaf fast path: an element whose only child is one text run — the
+	// overwhelmingly common shape for extracted catalog fields — needs no
+	// builder and no tree walk.
+	if len(e.Children) == 1 {
+		if t, ok := e.Children[0].(*Text); ok {
+			return strings.TrimSpace(t.Data)
+		}
+	}
 	var b strings.Builder
 	var walk func(*Element)
 	walk = func(el *Element) {

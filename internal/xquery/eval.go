@@ -797,8 +797,16 @@ func ItemString(item Item) string {
 	}
 }
 
-// sequenceString atomizes a whole sequence, space-joined.
+// sequenceString atomizes a whole sequence, space-joined. Empty and
+// single-item sequences — the common comparison operands — skip the
+// parts-slice-and-join allocation entirely.
 func sequenceString(s Sequence) string {
+	switch len(s) {
+	case 0:
+		return ""
+	case 1:
+		return ItemString(s[0])
+	}
 	parts := make([]string, len(s))
 	for i, item := range s {
 		parts[i] = ItemString(item)

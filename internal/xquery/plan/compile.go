@@ -396,6 +396,12 @@ func (c *compiler) compilePath(n *xquery.PathExpr) (compiled, error) {
 // document order.
 func execStep(rt *runtime, in xquery.Sequence, st *compiledStep) (xquery.Sequence, error) {
 	var out xquery.Sequence
+	if len(in) > 0 {
+		// Most steps are roughly size-preserving (child/attribute fan-out of
+		// ~1 per input); pre-size to the input length so the append loop
+		// grows the output once instead of doubling through several sizes.
+		out = make(xquery.Sequence, 0, len(in))
+	}
 	for _, item := range in {
 		// A document node's only child is its root element.
 		if doc, ok := item.(*xmldom.Document); ok {
@@ -422,8 +428,11 @@ func execStep(rt *runtime, in xquery.Sequence, st *compiledStep) (xquery.Sequenc
 		}
 		switch st.axis {
 		case xquery.AxisChild:
-			for _, ch := range el.ChildElements() {
-				if st.name == "*" || ch.Name == st.name {
+			// Iterate Children directly: ChildElements would allocate a
+			// fresh slice per input element on the hottest loop in the
+			// engine.
+			for _, c := range el.Children {
+				if ch, ok := c.(*xmldom.Element); ok && (st.name == "*" || ch.Name == st.name) {
 					out = append(out, ch)
 				}
 			}
@@ -459,6 +468,9 @@ func execPred(rt *runtime, in xquery.Sequence, pred *compiledPred) (xquery.Seque
 		return nil, nil
 	}
 	var out xquery.Sequence
+	if len(in) > 0 {
+		out = make(xquery.Sequence, 0, len(in))
+	}
 	for _, item := range in {
 		rt.slots[pred.slot] = xquery.Sequence{item}
 		s, err := pred.fn(rt)
@@ -569,8 +581,15 @@ func (c *compiler) compileFLWOR(n *xquery.FLWOR) (compiled, error) {
 				if err != nil {
 					return nil, err
 				}
-				for _, item := range seq {
-					nt := make([]xquery.Sequence, len(t)+1)
+				if len(seq) == 0 {
+					continue
+				}
+				// One arena allocation backs every extended tuple this input
+				// sequence produces, instead of one allocation per item.
+				width := len(t) + 1
+				arena := make([]xquery.Sequence, len(seq)*width)
+				for i, item := range seq {
+					nt := arena[i*width : (i+1)*width : (i+1)*width]
 					copy(nt, t)
 					nt[len(t)] = xquery.Sequence{item}
 					next = append(next, nt)
@@ -579,6 +598,8 @@ func (c *compiler) compileFLWOR(n *xquery.FLWOR) (compiled, error) {
 			tuples = next
 		}
 		for _, lp := range lets {
+			width := 0
+			var arena []xquery.Sequence
 			next := make([][]xquery.Sequence, 0, len(tuples))
 			for _, t := range tuples {
 				restore(rt, t)
@@ -586,7 +607,12 @@ func (c *compiler) compileFLWOR(n *xquery.FLWOR) (compiled, error) {
 				if err != nil {
 					return nil, err
 				}
-				nt := make([]xquery.Sequence, len(t)+1)
+				if arena == nil {
+					width = len(t) + 1
+					arena = make([]xquery.Sequence, len(tuples)*width)
+				}
+				nt := arena[:width:width]
+				arena = arena[width:]
 				copy(nt, t)
 				nt[len(t)] = val
 				next = append(next, nt)
@@ -594,7 +620,7 @@ func (c *compiler) compileFLWOR(n *xquery.FLWOR) (compiled, error) {
 			tuples = next
 		}
 		if where != nil {
-			var kept [][]xquery.Sequence
+			kept := tuples[:0]
 			for _, t := range tuples {
 				restore(rt, t)
 				cond, err := where(rt)

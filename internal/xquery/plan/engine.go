@@ -1,0 +1,64 @@
+package plan
+
+import (
+	"fmt"
+
+	"thalia/internal/xquery"
+)
+
+// This file is the engine-selection surface for everything that evaluates
+// XQuery text. Compiled plans are the default execution path; the
+// tree-walking interpreter in internal/xquery stays alive solely as the
+// differential reference, reachable through the -engine=interp escape hatch
+// every CLI exposes (EngineByName maps the flag value to an Evaluator).
+
+// Evaluator evaluates XQuery source against a context — the one signature
+// both engines share, so call sites can flip engines without restructuring.
+type Evaluator func(src string, ctx *xquery.Context) (xquery.Sequence, error)
+
+// Engine names accepted by EngineByName (and the CLIs' -engine flags).
+const (
+	// EnginePlan is the default: compile to a reusable closure plan through
+	// the process-wide cache, then evaluate.
+	EnginePlan = "plan"
+	// EngineInterp is the escape hatch: the reference tree-walking
+	// interpreter, kept for differential testing and triage.
+	EngineInterp = "interp"
+)
+
+// defaultCache is the process-wide plan cache behind EvalQuery: each
+// distinct query text is parsed and compiled once per process, which is the
+// reuse pattern repeated facade and CLI evaluations exhibit.
+var defaultCache = NewCache()
+
+// EvalQuery evaluates src with the compiled-plan engine, the default
+// execution path. Plans are compiled through the process-wide cache, so
+// repeated evaluations of the same query text skip the parser and compiler.
+// Parse and compile failures are returned unchanged and never cached.
+func EvalQuery(src string, ctx *xquery.Context) (xquery.Sequence, error) {
+	p, err := defaultCache.Get(src)
+	if err != nil {
+		return nil, err
+	}
+	return p.Eval(ctx)
+}
+
+// DefaultCacheStats reports the process-wide plan cache's hit/miss counts —
+// observability for the flipped default path.
+func DefaultCacheStats() (hits, misses int64) {
+	return defaultCache.Stats()
+}
+
+// EngineByName maps an -engine flag value to its evaluator: "plan" (or "")
+// selects the compiled default, "interp" the differential-reference
+// interpreter. Unknown names are an error listing the valid values.
+func EngineByName(name string) (Evaluator, error) {
+	switch name {
+	case "", EnginePlan:
+		return EvalQuery, nil
+	case EngineInterp:
+		return xquery.EvalQuery, nil
+	default:
+		return nil, fmt.Errorf("plan: unknown engine %q (want %q or %q)", name, EnginePlan, EngineInterp)
+	}
+}

@@ -34,6 +34,10 @@ type Plan struct {
 	// evals counts evaluations; surfaced as the "evals" attr of the
 	// explain plan span so traces show plan reuse.
 	evals atomic.Int64
+	// rts recycles per-evaluation runtimes (and their slot arrays, sized
+	// for this plan) across Eval calls — the hot loop's dominant allocation
+	// before pooling, per bench --profile heap output.
+	rts sync.Pool
 }
 
 // CompileQuery parses src and compiles it in one step. Parse failures are
@@ -65,11 +69,20 @@ func Compile(e xquery.Expr) (*Plan, error) {
 // Eval runs the plan against ctx. When ctx.Explain is set, the evaluation
 // is wrapped in a "plan" span whose evals attr reports how many times this
 // plan has been used — cache reuse made visible in traces.
+//
+// Per-evaluation runtimes are drawn from a pool and returned with their
+// slots cleared; results never alias the slot array (compiled closures copy
+// items out of slots into fresh output sequences), so recycling is
+// invisible to callers and safe under concurrent Eval.
 func (p *Plan) Eval(ctx *xquery.Context) (xquery.Sequence, error) {
-	rt := &runtime{ctx: ctx, rec: ctx.Explain}
-	if p.nSlots > 0 {
-		rt.slots = make([]xquery.Sequence, p.nSlots)
+	rt, _ := p.rts.Get().(*runtime)
+	if rt == nil {
+		rt = &runtime{}
+		if p.nSlots > 0 {
+			rt.slots = make([]xquery.Sequence, p.nSlots)
+		}
 	}
+	rt.ctx, rt.rec = ctx, ctx.Explain
 	n := p.evals.Add(1)
 	if rt.rec != nil {
 		sp := rt.rec.Begin(explain.KindPlan, "plan",
@@ -77,7 +90,13 @@ func (p *Plan) Eval(ctx *xquery.Context) (xquery.Sequence, error) {
 			explain.A("slots", strconv.Itoa(p.nSlots)))
 		defer sp.End()
 	}
-	return p.root(rt)
+	out, err := p.root(rt)
+	rt.ctx, rt.rec = nil, nil
+	for i := range rt.slots {
+		rt.slots[i] = nil
+	}
+	p.rts.Put(rt)
+	return out, err
 }
 
 // Source returns the query text the plan was compiled from, if any.
