@@ -2,12 +2,19 @@
 // on their results.
 //
 //	thalia-bench engine  [-out BENCH_engine.json] [-runs 3] [-pool N]
-//	                     [-profile DIR]
+//	                     [-profile DIR] [-journal run.jsonl]
 //	thalia-bench chaos   [-out BENCH_chaos.json] [-runs 3] [-pool N] [-seed 1]
+//	                     [-journal run.jsonl]
 //	thalia-bench server  [-out BENCH_server.json] [-clients 8] [-requests 50]
 //	thalia-bench plan    [-runs 200]
+//	thalia-bench report  [-json] [-require-complete] <journal.jsonl>
 //	thalia-bench compare -baseline BENCH_engine.json -fresh fresh.json
 //	                     [-tolerance 0.30] [-slowdown 1.0]
+//
+// engine and chaos optionally flight-record one extra evaluation with
+// -journal: an append-only JSONL run journal (internal/journal) that report
+// replays into the run summary — CI uploads it and asserts the replay
+// reproduces the digest recorded in the journal's run-end event.
 //
 // engine times benchmark.MeasureEngine (the uncached sequential seed path
 // vs the shared-prep-cached sequential and pooled configurations, over the
@@ -42,11 +49,15 @@ import (
 	"time"
 
 	"thalia/internal/benchmark"
+	"thalia/internal/buildinfo"
 	"thalia/internal/catalog"
 	"thalia/internal/cohera"
+	"thalia/internal/faultline"
 	"thalia/internal/integration"
 	"thalia/internal/iwiz"
+	"thalia/internal/journal"
 	"thalia/internal/rewrite"
+	"thalia/internal/telemetry"
 	"thalia/internal/ufmw"
 	"thalia/internal/website"
 	"thalia/internal/xquery"
@@ -61,7 +72,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("need a subcommand: engine | chaos | server | plan | compare")
+		return fmt.Errorf("need a subcommand: engine | chaos | server | plan | report | compare")
 	}
 	switch args[0] {
 	case "engine":
@@ -72,10 +83,15 @@ func run(args []string, out io.Writer) error {
 		return serverCmd(args[1:], out)
 	case "plan":
 		return planCmd(args[1:], out)
+	case "report":
+		return reportCmd(args[1:], out)
 	case "compare":
 		return compareCmd(args[1:], out)
+	case "-version", "--version":
+		fmt.Fprintln(out, buildinfo.String("thalia-bench"))
+		return nil
 	default:
-		return fmt.Errorf("unknown subcommand %q (engine | chaos | server | plan | compare)", args[0])
+		return fmt.Errorf("unknown subcommand %q (engine | chaos | server | plan | report | compare)", args[0])
 	}
 }
 
@@ -89,6 +105,7 @@ func engineCmd(args []string, out io.Writer) error {
 	runs := fs.Int("runs", 3, "EvaluateAll executions per configuration")
 	pool := fs.Int("pool", runtime.GOMAXPROCS(0), "parallel pool size to measure")
 	profileDir := fs.String("profile", "", "write cpu.pprof and heap.pprof for the measurement to this directory")
+	journalPath := fs.String("journal", "", "also flight-record one evaluation to this JSONL journal")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -111,7 +128,54 @@ func engineCmd(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "engine: %d configs, speedup %.2fx, xquery speedup %.2fx, wrote %s\n",
 		len(rep.Timings), rep.Speedup, rep.XQuerySpeedup, *path)
+	if *journalPath != "" {
+		if err := journaledRun(*journalPath, "thalia-bench engine", *pool, 0, false); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "engine: journaled run written to %s\n", *journalPath)
+	}
 	return nil
+}
+
+// journaledRun executes one flight-recorded evaluation of the built-in
+// systems — with the standard chaos mix and resilience policy when chaos is
+// set — and writes its journal to path. The journal is the run's durable
+// artifact: `thalia-bench report` replays it, and CI asserts the replayed
+// digest matches the run-end record.
+func journaledRun(path, harness string, pool int, seed int64, chaos bool) error {
+	w, err := journal.Create(path)
+	if err != nil {
+		return err
+	}
+	rec := &journal.Recorder{W: w, RunID: runIDFromPath(path), Harness: harness}
+	runner := benchmark.NewRunner()
+	runner.Concurrency = pool
+	runner.Telemetry = telemetry.NewRegistry()
+	runner.Journal = rec
+	sys := systems()
+	if chaos {
+		plan := faultline.StandardMix(seed)
+		rec.Seed = seed
+		rec.FaultPlanDigest = plan.Digest()
+		runner.Resilience = benchmark.DefaultResilience(seed)
+		for i, s := range sys {
+			sys[i] = faultline.Wrap(s, plan, nil)
+		}
+	}
+	if _, err := runner.EvaluateAll(sys...); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
+}
+
+// runIDFromPath derives a run ID from the journal filename.
+func runIDFromPath(path string) string {
+	base := filepath.Base(path)
+	if ext := filepath.Ext(base); ext != "" {
+		base = base[:len(base)-len(ext)]
+	}
+	return base
 }
 
 // startProfiles begins a CPU profile in dir and returns a stop function
@@ -157,6 +221,7 @@ func chaosCmd(args []string, out io.Writer) error {
 	runs := fs.Int("runs", 3, "EvaluateAll executions per configuration")
 	pool := fs.Int("pool", runtime.GOMAXPROCS(0), "parallel pool size to measure")
 	seed := fs.Int64("seed", 1, "fault plan and jitter seed")
+	journalPath := fs.String("journal", "", "also flight-record one evaluation to this JSONL journal")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -171,6 +236,55 @@ func chaosCmd(args []string, out io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(out, "chaos: %d configs, speedup %.2fx, wrote %s\n", len(rep.Timings), rep.Speedup, *path)
+	if *journalPath != "" {
+		if err := journaledRun(*journalPath, "thalia-bench chaos", *pool, *seed, true); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "chaos: journaled run written to %s\n", *journalPath)
+	}
+	return nil
+}
+
+// reportCmd replays a run journal into its projection and renders the run
+// report — human text by default, machine JSON with -json. Replay always
+// verifies structural integrity (parseable events, monotonic sequence); a
+// complete journal must additionally replay to the exact ranked-scorecard
+// digest its run-end event recorded, and -require-complete turns a missing
+// run_end (crashed or still-running journal) into a failure too.
+func reportCmd(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("report", flag.ContinueOnError)
+	asJSON := fs.Bool("json", false, "render the machine-readable report")
+	requireComplete := fs.Bool("require-complete", false, "fail unless the journal has a verified run_end")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("report: usage: thalia-bench report [-json] [-require-complete] <journal.jsonl>")
+	}
+	events, err := journal.ReadFile(fs.Arg(0))
+	if err != nil {
+		return fmt.Errorf("report: %w", err)
+	}
+	if len(events) == 0 {
+		return fmt.Errorf("report: %s: empty journal", fs.Arg(0))
+	}
+	p := journal.Replay(events)
+	if p.Complete() {
+		if err := p.Verify(); err != nil {
+			return fmt.Errorf("report: %s: %w", fs.Arg(0), err)
+		}
+	} else if *requireComplete {
+		return fmt.Errorf("report: %s: journal incomplete: no run_end event", fs.Arg(0))
+	}
+	if *asJSON {
+		raw, err := p.JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, string(raw))
+		return nil
+	}
+	fmt.Fprint(out, p.Report())
 	return nil
 }
 

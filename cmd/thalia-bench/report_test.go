@@ -1,0 +1,159 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"thalia/internal/journal"
+)
+
+// engine -journal flight-records a run whose report replays to the exact
+// digest the run-end event stamped — the acceptance loop CI runs.
+func TestEngineJournalAndReport(t *testing.T) {
+	dir := t.TempDir()
+	artifact := filepath.Join(dir, "engine.json")
+	jpath := filepath.Join(dir, "engine-run.jsonl")
+	var out strings.Builder
+	if err := run([]string{"engine", "-out", artifact, "-runs", "1", "-pool", "2", "-journal", jpath}, &out); err != nil {
+		t.Fatalf("engine: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "journaled run written to "+jpath) {
+		t.Errorf("missing journal notice:\n%s", out.String())
+	}
+
+	out.Reset()
+	if err := run([]string{"report", "-require-complete", jpath}, &out); err != nil {
+		t.Fatalf("report: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"engine-run", "thalia-bench engine", "Ranking", "recorded digest: sha256:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, out.String())
+		}
+	}
+
+	out.Reset()
+	if err := run([]string{"report", "-json", jpath}, &out); err != nil {
+		t.Fatalf("report -json: %v", err)
+	}
+	var sum journal.ReportSummary
+	if err := json.Unmarshal([]byte(out.String()), &sum); err != nil {
+		t.Fatalf("report -json output invalid: %v", err)
+	}
+	if !sum.Complete || sum.CellsDone != 48 {
+		t.Errorf("summary = complete %v, %d cells; want complete, 48", sum.Complete, sum.CellsDone)
+	}
+	if sum.RecordedDigest == "" || sum.RecordedDigest != sum.ReplayedDigest {
+		t.Errorf("replay does not reproduce the recorded digest: %q vs %q", sum.RecordedDigest, sum.ReplayedDigest)
+	}
+}
+
+// chaos -journal records seed, fault-plan digest and attempt histories.
+func TestChaosJournal(t *testing.T) {
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "chaos-run.jsonl")
+	var out strings.Builder
+	if err := run([]string{"chaos", "-out", filepath.Join(dir, "chaos.json"),
+		"-runs", "1", "-pool", "2", "-seed", "7", "-journal", jpath}, &out); err != nil {
+		t.Fatalf("chaos: %v\n%s", err, out.String())
+	}
+	events, err := journal.ReadFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := journal.Replay(events)
+	if err := p.Verify(); err != nil {
+		t.Fatalf("chaos journal does not verify: %v", err)
+	}
+	if p.Start.Seed != 7 || p.Start.FaultPlanDigest == "" || !p.Start.Resilience {
+		t.Errorf("chaos provenance missing: %+v", p.Start)
+	}
+}
+
+func TestReportRejectsBadJournals(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	if err := run([]string{"report", filepath.Join(dir, "missing.jsonl")}, &out); err == nil {
+		t.Error("report on a missing file must fail")
+	}
+
+	// An incomplete journal passes by default but fails -require-complete.
+	partial := filepath.Join(dir, "partial.jsonl")
+	w, err := journal.Create(partial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &journal.Recorder{W: w, RunID: "partial", Harness: "test"}
+	rec.RunStart([]string{"x"}, 12, 1, false)
+	rec.CellStart("x", 1)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"report", partial}, &out); err != nil {
+		t.Fatalf("report on incomplete journal: %v", err)
+	}
+	if !strings.Contains(out.String(), "INCOMPLETE") {
+		t.Errorf("incomplete journal's report must say so:\n%s", out.String())
+	}
+	if err := run([]string{"report", "-require-complete", partial}, &out); err == nil {
+		t.Error("-require-complete must fail on a journal without run_end")
+	}
+
+	// A tampered journal (cell event removed) must fail digest verification.
+	if err := run([]string{"engine", "-out", filepath.Join(dir, "e.json"), "-runs", "1", "-pool", "2",
+		"-journal", filepath.Join(dir, "tamper.jsonl")}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "tamper.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	// Drop one cell_done line; reindex seqs so only the digest can object.
+	tampered := make([]string, 0, len(lines))
+	dropped := false
+	for _, line := range lines {
+		if !dropped && strings.Contains(line, `"type":"cell_done"`) {
+			dropped = true
+			continue
+		}
+		tampered = append(tampered, line)
+	}
+	seq := 0
+	for i, line := range tampered {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		seq++
+		var e map[string]any
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatal(err)
+		}
+		e["seq"] = seq
+		raw, err := json.Marshal(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tampered[i] = string(raw) + "\n"
+	}
+	tpath := filepath.Join(dir, "tampered.jsonl")
+	if err := os.WriteFile(tpath, []byte(strings.Join(tampered, "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"report", tpath}, &out); err == nil {
+		t.Error("report must reject a journal whose replay misses the recorded digest")
+	}
+}
+
+func TestVersionFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-version"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "thalia-bench") {
+		t.Errorf("version output = %q", out.String())
+	}
+}

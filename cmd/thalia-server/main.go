@@ -6,12 +6,18 @@
 // Prometheus text), /healthz, /debug/traces, and net/http/pprof under
 // /debug/pprof/.
 //
+// With -journal-dir, benchmark runs started at POST /runs are
+// flight-recorded to disk and reloaded on restart, so /runs history
+// survives the process; /runs/{id}/events streams any run's journal live
+// over SSE.
+//
 // The server drains gracefully: SIGINT/SIGTERM stops accepting new
 // connections and waits up to -drain for in-flight requests.
 //
 // Usage:
 //
-//	thalia-server [-addr :8080] [-drain 10s] [-quiet]
+//	thalia-server [-addr :8080] [-drain 10s] [-quiet] [-journal-dir DIR]
+//	thalia-server -version
 package main
 
 import (
@@ -20,7 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -29,6 +35,7 @@ import (
 	"syscall"
 	"time"
 
+	"thalia/internal/buildinfo"
 	"thalia/internal/website"
 )
 
@@ -50,13 +57,24 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	addr := fs.String("addr", ":8080", "listen address")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 	quiet := fs.Bool("quiet", false, "suppress the access log")
+	journalDir := fs.String("journal-dir", "", "persist benchmark-run journals to this directory (and reload them on start)")
+	version := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Fprintln(stdout, buildinfo.String("thalia-server"))
+		return nil
 	}
 
 	site := website.New()
 	if !*quiet {
-		site.SetLogger(log.New(stderr, "", log.LstdFlags))
+		site.SetSlogger(slog.New(slog.NewTextHandler(stderr, nil)))
+	}
+	if *journalDir != "" {
+		if err := site.SetJournalDir(*journalDir); err != nil {
+			return err
+		}
 	}
 	srv := &http.Server{
 		Handler:           withPprof(site.Handler()),

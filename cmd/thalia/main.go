@@ -13,11 +13,13 @@
 //	thalia solution <n>                sample solution for query n
 //	thalia xq '<query>'                run an XQuery against the testbed
 //	thalia bench [--system name]... [--parallel N] [--timeout D] [--telemetry]
-//	             [--profile dir] [--explain-dir dir]
+//	             [--profile dir] [--explain-dir dir] [--journal-dir dir]
 //	             [--faults plan.json|standard] [--seed N] [--retries N]
 //	                                   evaluate systems (default: all),
 //	                                   optionally under injected faults with
-//	                                   retries, backoff and a circuit breaker
+//	                                   retries, backoff and a circuit breaker;
+//	                                   --journal-dir flight-records the run
+//	                                   as a JSONL journal
 //	thalia explain <n> <system>        trace one query's evaluation
 //	thalia hetero                      the heterogeneity classification
 package main
@@ -35,6 +37,8 @@ import (
 
 	"thalia"
 	"thalia/internal/benchmark"
+	"thalia/internal/buildinfo"
+	"thalia/internal/journal"
 	"thalia/internal/telemetry"
 	"thalia/internal/tess"
 )
@@ -75,6 +79,9 @@ func run(args []string) error {
 		return detect(args[1:])
 	case "hetero":
 		return heteroCmd()
+	case "version", "-version", "--version":
+		fmt.Println(buildinfo.String("thalia"))
+		return nil
 	case "help", "-h", "--help":
 		return usage()
 	default:
@@ -101,12 +108,14 @@ Commands:
         [--faults P]        --profile writes cpu.pprof and heap.pprof to DIR;
         [--seed N]          --explain-dir writes explain traces of failed
         [--retries N]       cells to DIR as JSON; --faults injects a JSON
-                            fault plan (or the "standard" chaos mix) and
+        [--journal-dir DIR] fault plan (or the "standard" chaos mix) and
                             evaluates under the seeded resilience policy —
                             bounded retries with jittered backoff and a
                             per-system circuit breaker — printing per-cell
                             attempt histories; --retries overrides the
-                            attempt budget
+                            attempt budget; --journal-dir flight-records
+                            the run to DIR/<run-id>.jsonl (replay with
+                            thalia-bench report)
   explain <n> <system>      trace one query's evaluation through a system:
         [--json]            operator spans, row counts, provenance events
   export <dir>              write the whole testbed to disk (HTML, XML,
@@ -223,7 +232,7 @@ func bench(args []string) error {
 	runner := thalia.NewRunner()
 	var systems []thalia.System
 	var reg *telemetry.Registry
-	var profileDir, explainDir, faultsArg string
+	var profileDir, explainDir, faultsArg, journalDir string
 	var seed int64 = 1
 	retries := 0
 	for i := 0; i < len(args); i++ {
@@ -280,6 +289,12 @@ func bench(args []string) error {
 				return fmt.Errorf("bench: --faults needs a plan file or \"standard\"")
 			}
 			faultsArg = args[i]
+		case "--journal-dir":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("bench: --journal-dir needs a directory")
+			}
+			journalDir = args[i]
 		case "--seed":
 			i++
 			if i >= len(args) {
@@ -311,8 +326,8 @@ func bench(args []string) error {
 		}
 	}
 	chaos := faultsArg != ""
+	var plan *thalia.FaultPlan
 	if chaos {
-		var plan *thalia.FaultPlan
 		if faultsArg == "standard" {
 			plan = thalia.StandardFaultMix(seed)
 		} else {
@@ -336,6 +351,32 @@ func bench(args []string) error {
 		runner.Resilience = thalia.DefaultResilience(seed)
 		if retries > 0 {
 			runner.Resilience.MaxAttempts = retries
+		}
+	}
+	var journalFile string
+	if journalDir != "" {
+		if err := os.MkdirAll(journalDir, 0o755); err != nil {
+			return fmt.Errorf("bench: --journal-dir: %w", err)
+		}
+		id := "run-" + strings.ReplaceAll(time.Now().UTC().Format("20060102-150405.000"), ".", "")
+		journalFile = filepath.Join(journalDir, id+".jsonl")
+		w, err := journal.Create(journalFile)
+		if err != nil {
+			return fmt.Errorf("bench: --journal-dir: %w", err)
+		}
+		defer w.Close()
+		rec := &journal.Recorder{W: w, RunID: id, Harness: "thalia bench"}
+		if runner.Resilience != nil {
+			rec.Seed = seed
+		}
+		if plan != nil {
+			rec.FaultPlanDigest = plan.Digest()
+		}
+		runner.Journal = rec
+		if runner.Telemetry == nil {
+			// Journals sample telemetry snapshots; attach a registry even
+			// without --telemetry (it cannot change the scorecards).
+			runner.Telemetry = telemetry.NewRegistry()
 		}
 	}
 	stopProfiles := func() error { return nil }
@@ -369,6 +410,9 @@ func bench(args []string) error {
 			return err
 		}
 		fmt.Printf("wrote %d explain trace(s) to %s\n", n, explainDir)
+	}
+	if journalFile != "" {
+		fmt.Printf("run journal written to %s (replay with: thalia-bench report %s)\n", journalFile, journalFile)
 	}
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync"
 	"time"
 
 	"thalia/internal/explain"
@@ -105,6 +106,29 @@ func (r *Runner) EvaluateAllContext(ctx context.Context, systems ...integration.
 	if tel != nil {
 		tel.Gauge(MetricWorkers).Set(int64(workers))
 	}
+	// The flight recorder opens before any worker can emit a cell event,
+	// so run_start is always the journal's first record. The telemetry
+	// sampler needs a registry to snapshot; without one it stays off.
+	jr := r.Journal
+	var runStarted time.Time
+	stopSampler := func() {}
+	if jr != nil {
+		names := make([]string, len(systems))
+		for i, sys := range systems {
+			names[i] = sys.Name()
+		}
+		jr.RunStart(names, len(r.Queries), workers, r.Resilience != nil)
+		runStarted = time.Now()
+		if tel != nil {
+			var once sync.Once
+			stop := startTelemetrySampler(jr, tel)
+			stopSampler = func() { once.Do(stop) }
+			// A cancelled run still stops the sampler (run_end is the
+			// explicit stop on the happy path, so the final snapshot
+			// precedes it in the journal).
+			defer stopSampler()
+		}
+	}
 	done := make(chan struct{})
 	for w := 0; w < workers; w++ {
 		go func() {
@@ -123,17 +147,33 @@ func (r *Runner) EvaluateAllContext(ctx context.Context, systems ...integration.
 				if breakers != nil {
 					br = breakers[c.sys]
 				}
-				if tel == nil {
+				if tel == nil && jr == nil {
 					cards[c.sys].Results[c.query] = r.evalCell(ctx, systems[c.sys], r.Queries[c.query], br)
 				} else {
-					tel.Histogram(MetricQueueWait).ObserveDuration(time.Since(c.enqueued))
-					busy := tel.Gauge(MetricBusyWorkers)
-					busy.Inc()
+					sysName := systems[c.sys].Name()
+					queryID := r.Queries[c.query].ID
+					var busy *telemetry.Gauge
+					if tel != nil {
+						tel.Histogram(MetricQueueWait).ObserveDuration(time.Since(c.enqueued))
+						busy = tel.Gauge(MetricBusyWorkers)
+						busy.Inc()
+					}
+					if jr != nil {
+						jr.CellStart(sysName, queryID)
+					}
 					start := time.Now()
 					res := r.evalCell(ctx, systems[c.sys], r.Queries[c.query], br)
-					busy.Dec()
+					elapsed := time.Since(start)
+					if busy != nil {
+						busy.Dec()
+					}
 					cards[c.sys].Results[c.query] = res
-					r.recordCell(systems[c.sys].Name(), r.Queries[c.query].ID, res, time.Since(start))
+					if tel != nil {
+						r.recordCell(sysName, queryID, res, elapsed)
+					}
+					if jr != nil {
+						jr.CellDone(cellEvent(sysName, res, elapsed))
+					}
 				}
 				if gates != nil {
 					close(gates[c.sys][c.query+1])
@@ -171,9 +211,16 @@ feed:
 		}
 	}
 	if err := ctx.Err(); err != nil {
+		// A cancelled run's journal ends without run_end — exactly how a
+		// crash looks to the reader, and how the projection reports it.
 		return nil, err
 	}
-	return Rank(cards), nil
+	ranked := Rank(cards)
+	if jr != nil {
+		stopSampler() // final telemetry snapshot lands before run_end
+		jr.RunEnd(JournalCards(ranked), time.Since(runStarted))
+	}
+	return ranked, nil
 }
 
 // evalCell evaluates one query against one system and scores it. Every

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"thalia/internal/integration"
+	"thalia/internal/journal"
 	"thalia/internal/telemetry"
 )
 
@@ -49,6 +50,15 @@ type Runner struct {
 	// deterministic. A cell that exhausts its retries is marked Degraded;
 	// it never aborts the run.
 	Resilience *Resilience
+	// Journal, when non-nil, is the run's flight recorder: the evaluation
+	// appends a run-start event, per-cell lifecycle events (with attempt
+	// histories, latency, and explain digests for failed cells), periodic
+	// telemetry snapshots (when Telemetry is also set), and a run-end
+	// event carrying the ranked-scorecard digest. Like Telemetry and
+	// ExplainFailures it observes from the outside: scorecards are
+	// byte-identical with journaling on or off, and a nil Journal costs
+	// nothing.
+	Journal *journal.Recorder
 }
 
 // NewRunner returns a runner over all twelve queries with a fresh

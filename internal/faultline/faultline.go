@@ -19,6 +19,7 @@
 package faultline
 
 import (
+	"crypto/sha256"
 	"encoding/json"
 	"fmt"
 	"sort"
@@ -153,6 +154,18 @@ func (p *Plan) Marshal() ([]byte, error) {
 		return nil, err
 	}
 	return append(data, '\n'), nil
+}
+
+// Digest fingerprints the plan: sha256 over its canonical JSON, prefixed
+// and truncated for log-friendliness. Journal run-start events record it so
+// a replayed run names the exact fault plan it ran under.
+func (p *Plan) Digest() string {
+	data, err := p.Marshal()
+	if err != nil {
+		return ""
+	}
+	sum := sha256.Sum256(data)
+	return fmt.Sprintf("sha256:%x", sum[:8])
 }
 
 // Validate checks every rule: known kind, parameters in range.

@@ -1,0 +1,330 @@
+package journal
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"thalia/internal/telemetry"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// fixedEvents is a small deterministic run: fixed timestamps, two systems,
+// two queries, one retry, one degradation. It backs the golden-file and
+// projection tests.
+func fixedEvents() []Event {
+	started := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	cells := []Cell{
+		{System: "alpha", Query: 1, Supported: true, Correct: true, Effort: "no code", LatencyNS: 1000,
+			Attempts: []Attempt{{N: 1}}},
+		{System: "beta", Query: 1, Supported: true, Correct: true, Effort: "small function", Complexity: 1, LatencyNS: 2000,
+			Attempts: []Attempt{{N: 1, Err: "transient blip", Transient: true, BackoffNS: 500}, {N: 2}}},
+		{System: "alpha", Query: 2, Supported: true, Correct: true, Effort: "no code", LatencyNS: 1500,
+			Attempts: []Attempt{{N: 1}}},
+		{System: "beta", Query: 2, Degraded: true, Err: "permanent fault", LatencyNS: 900,
+			Attempts:      []Attempt{{N: 1, Err: "permanent fault"}},
+			ExplainDigest: "explain: q02 beta [eval] spans=3 events=1 dur=1ms"},
+	}
+	events := []Event{{Type: TypeRunStart, RunStart: &RunStart{
+		RunID: "run-test", Schema: SchemaVersion, StartedAt: started,
+		Harness: "journal-test", Systems: []string{"alpha", "beta"},
+		Queries: 2, Concurrency: 2, Seed: 7, Resilience: true,
+		Version: "v0.0.0-test", Revision: "abc123", GoVersion: "go1.0", GoMaxProcs: 8,
+	}}}
+	for _, c := range cells {
+		events = append(events, Event{Type: TypeCellStart, Cell: &Cell{System: c.System, Query: c.Query}})
+		cc := c
+		events = append(events, Event{Type: TypeCellDone, Cell: &cc})
+	}
+	ranked := Rank([]*Card{
+		{System: "alpha", Cells: []Cell{cells[0], cells[2]}},
+		{System: "beta", Cells: []Cell{cells[1], cells[3]}},
+	})
+	events = append(events, Event{Type: TypeRunEnd, RunEnd: &RunEnd{
+		Digest: DigestCards(ranked), Rank: RankTable(ranked),
+		Cells: 4, Degraded: 1, ElapsedNS: 5400,
+	}})
+	return events
+}
+
+func writeEvents(t *testing.T, events []Event) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, e := range events {
+		if _, err := w.Append(e); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestWriterReaderRoundTrip(t *testing.T) {
+	events := fixedEvents()
+	data := writeEvents(t, events)
+	got, err := ReadAll(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("read %d events, wrote %d", len(got), len(events))
+	}
+	for i, e := range got {
+		if e.Seq != uint64(i+1) {
+			t.Errorf("event %d: seq = %d, want %d", i, e.Seq, i+1)
+		}
+		if e.Type != events[i].Type {
+			t.Errorf("event %d: type = %s, want %s", i, e.Type, events[i].Type)
+		}
+	}
+	if got[0].RunStart == nil || got[0].RunStart.RunID != "run-test" {
+		t.Errorf("run_start payload lost: %+v", got[0])
+	}
+	last := got[len(got)-1]
+	if last.RunEnd == nil || !strings.HasPrefix(last.RunEnd.Digest, "sha256:") {
+		t.Errorf("run_end payload lost: %+v", last)
+	}
+}
+
+// The golden file pins the wire format: any change to the event schema
+// shows up as a diff here, forcing a conscious SchemaVersion decision.
+func TestGoldenJournal(t *testing.T) {
+	data := writeEvents(t, fixedEvents())
+	golden := filepath.Join("testdata", "golden.jsonl")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(data, want) {
+		t.Errorf("journal encoding drifted from golden file.\ngot:\n%s\nwant:\n%s", data, want)
+	}
+}
+
+func TestReadAllToleratesTruncatedTail(t *testing.T) {
+	data := writeEvents(t, fixedEvents())
+	full, err := ReadAll(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop the file mid-final-line, as a crash during the last append
+	// would: every earlier event must still read cleanly.
+	cut := bytes.LastIndexByte(bytes.TrimRight(data, "\n"), '\n')
+	truncated := data[:cut+1+10] // 10 bytes into the final line
+	got, err := ReadAll(bytes.NewReader(truncated))
+	if err != nil {
+		t.Fatalf("truncated tail must read cleanly, got %v", err)
+	}
+	if len(got) != len(full)-1 {
+		t.Errorf("read %d events from truncated journal, want %d", len(got), len(full)-1)
+	}
+}
+
+func TestReadAllRejectsCorruptMiddle(t *testing.T) {
+	data := writeEvents(t, fixedEvents())
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	lines[2] = []byte("{corrupt}\n")
+	if _, err := ReadAll(bytes.NewReader(bytes.Join(lines, nil))); err == nil {
+		t.Fatal("corrupt mid-journal line must be an error, not silently skipped")
+	}
+}
+
+func TestReadAllRejectsSeqRegression(t *testing.T) {
+	data := []byte(`{"seq":1,"type":"cell_start","cell":{"system":"a","query":1}}
+{"seq":1,"type":"cell_start","cell":{"system":"a","query":2}}
+`)
+	if _, err := ReadAll(bytes.NewReader(data)); err == nil {
+		t.Fatal("sequence regression must be an error")
+	}
+}
+
+func TestProjectionReplayVerifies(t *testing.T) {
+	events := fixedEvents()
+	p := Replay(events)
+	if !p.Complete() {
+		t.Fatal("projection of a full journal must be complete")
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if p.RunID != "run-test" || p.CellsDone != 4 || p.CellsStarted != 4 {
+		t.Errorf("projection = %q cells %d/%d, want run-test 4/4", p.RunID, p.CellsDone, p.CellsStarted)
+	}
+	cards := p.Cards()
+	if len(cards) != 2 || cards[0].System != "alpha" || cards[1].System != "beta" {
+		t.Fatalf("ranked cards wrong: %+v", cards)
+	}
+	if cards[0].Correct() != 2 || cards[1].Correct() != 1 {
+		t.Errorf("correct counts = %d, %d; want 2, 1", cards[0].Correct(), cards[1].Correct())
+	}
+	// Incremental Apply must equal whole-log Replay.
+	inc := NewProjection()
+	for _, e := range events {
+		inc.Apply(e)
+	}
+	if inc.Digest() != p.Digest() || inc.LastSeq != p.LastSeq {
+		t.Error("incremental Apply diverged from Replay")
+	}
+}
+
+func TestProjectionDetectsMissingCell(t *testing.T) {
+	events := fixedEvents()
+	// Drop one cell_done: the digest and cell count must both catch it.
+	var pruned []Event
+	dropped := false
+	for _, e := range events {
+		if !dropped && e.Type == TypeCellDone {
+			dropped = true
+			continue
+		}
+		pruned = append(pruned, e)
+	}
+	if err := Replay(pruned).Verify(); err == nil {
+		t.Fatal("projection with a lost cell must fail verification")
+	}
+}
+
+func TestProjectionIncompleteWithoutRunEnd(t *testing.T) {
+	events := fixedEvents()
+	p := Replay(events[:len(events)-1])
+	if p.Complete() {
+		t.Fatal("journal without run_end must be incomplete")
+	}
+	if err := p.Verify(); err == nil {
+		t.Fatal("Verify must fail on an incomplete journal")
+	}
+}
+
+func TestDigestIgnoresLatencyButNotOutcome(t *testing.T) {
+	cards := func(latency int64, correct bool) []*Card {
+		return []*Card{{System: "s", Cells: []Cell{{
+			System: "s", Query: 1, Supported: true, Correct: correct, LatencyNS: latency,
+		}}}}
+	}
+	if DigestCards(cards(1, true)) != DigestCards(cards(999, true)) {
+		t.Error("digest must not depend on measured latency")
+	}
+	if DigestCards(cards(1, true)) == DigestCards(cards(1, false)) {
+		t.Error("digest must depend on the outcome")
+	}
+}
+
+func TestRankOrdersLikeThePaper(t *testing.T) {
+	a := &Card{System: "a", Cells: []Cell{{Correct: true, Complexity: 5}}}
+	b := &Card{System: "b", Cells: []Cell{{Correct: true, Complexity: 2}}}
+	c := &Card{System: "c", Cells: []Cell{{Correct: false}}}
+	ranked := Rank([]*Card{c, a, b})
+	if ranked[0] != b || ranked[1] != a || ranked[2] != c {
+		t.Errorf("rank order = %s, %s, %s; want b, a, c",
+			ranked[0].System, ranked[1].System, ranked[2].System)
+	}
+}
+
+func TestReportRendersRunFacts(t *testing.T) {
+	p := Replay(fixedEvents())
+	rep := p.Report()
+	for _, want := range []string{
+		"run-test", "journal-test", "complete — 4 cells", "1 degraded",
+		"1. alpha", "2. beta", "DEGRADED", "permanent fault",
+		"Retry and fault timeline", "transient → ok",
+		"Degraded-cell postmortems", "explain: q02 beta",
+		"recorded digest: sha256:", "replayed digest: sha256:",
+	} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+	raw, err := p.JSON()
+	if err != nil {
+		t.Fatalf("JSON: %v", err)
+	}
+	if !strings.Contains(string(raw), `"recorded_digest"`) {
+		t.Errorf("JSON report missing digest: %s", raw)
+	}
+}
+
+func TestReportMarksIncompleteRun(t *testing.T) {
+	events := fixedEvents()
+	rep := Replay(events[:len(events)-2]).Report()
+	if !strings.Contains(rep, "INCOMPLETE") {
+		t.Errorf("truncated run's report must say INCOMPLETE:\n%s", rep)
+	}
+}
+
+func TestCreateAndReadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range fixedEvents() {
+		if _, err := w.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Replay(events).Verify(); err != nil {
+		t.Fatalf("file round trip: %v", err)
+	}
+}
+
+func TestTelemetryEventCarriesSnapshot(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("x_total").Inc()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	rec := &Recorder{W: w, RunID: "r", Harness: "t"}
+	rec.Telemetry(reg.Snapshot())
+	events, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil || len(events) != 1 {
+		t.Fatalf("events = %v, err = %v", events, err)
+	}
+	if events[0].Telemetry == nil || len(events[0].Telemetry.Counters) != 1 {
+		t.Fatalf("telemetry snapshot lost: %+v", events[0])
+	}
+	p := Replay(events)
+	if p.TelemetrySamples != 1 || p.Telemetry == nil {
+		t.Errorf("projection lost telemetry: samples=%d", p.TelemetrySamples)
+	}
+}
+
+func TestWriterTapSeesEveryEvent(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	var tapped []uint64
+	w.Tap(func(e Event) { tapped = append(tapped, e.Seq) })
+	for _, e := range fixedEvents() {
+		if _, err := w.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(tapped) != len(fixedEvents()) {
+		t.Fatalf("tap saw %d events, want %d", len(tapped), len(fixedEvents()))
+	}
+	for i, seq := range tapped {
+		if seq != uint64(i+1) {
+			t.Errorf("tap order broken at %d: seq %d", i, seq)
+		}
+	}
+}

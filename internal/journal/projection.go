@@ -1,0 +1,135 @@
+package journal
+
+import (
+	"fmt"
+	"sort"
+
+	"thalia/internal/telemetry"
+)
+
+// Projection is the materialized view of a journal: the run summary the web
+// site serves at /runs/{id} and `thalia-bench report` renders. It is built
+// incrementally — Apply one event at a time as they stream in, or Replay a
+// whole log — and the result is identical either way, which is the
+// projection pattern's whole point: the journal is the source of truth, the
+// projection is always reconstructible from it.
+type Projection struct {
+	RunID string
+	Start *RunStart
+	End   *RunEnd
+	// LastSeq is the highest sequence number applied — the ETag the read
+	// path revalidates against, and the Last-Event-ID resume point.
+	LastSeq uint64
+	// CellsStarted and CellsDone count lifecycle events.
+	CellsStarted int
+	CellsDone    int
+	// Telemetry is the most recent telemetry snapshot (nil if none).
+	Telemetry *telemetry.Snapshot
+	// TelemetrySamples counts how many snapshots the journal carried.
+	TelemetrySamples int
+
+	// cells accumulates cell_done payloads per system.
+	cells map[string][]Cell
+}
+
+// NewProjection returns an empty projection ready for Apply.
+func NewProjection() *Projection {
+	return &Projection{cells: map[string][]Cell{}}
+}
+
+// Replay folds a full event stream into a projection.
+func Replay(events []Event) *Projection {
+	p := NewProjection()
+	for _, e := range events {
+		p.Apply(e)
+	}
+	return p
+}
+
+// Apply folds one event into the projection. Unknown event types are
+// skipped (forward compatibility: newer writers may add types).
+func (p *Projection) Apply(e Event) {
+	if e.Seq > p.LastSeq {
+		p.LastSeq = e.Seq
+	}
+	switch e.Type {
+	case TypeRunStart:
+		if e.RunStart != nil {
+			p.Start = e.RunStart
+			p.RunID = e.RunStart.RunID
+		}
+	case TypeCellStart:
+		p.CellsStarted++
+	case TypeCellDone:
+		if e.Cell != nil {
+			p.CellsDone++
+			p.cells[e.Cell.System] = append(p.cells[e.Cell.System], *e.Cell)
+		}
+	case TypeTelemetry:
+		if e.Telemetry != nil {
+			p.Telemetry = e.Telemetry
+			p.TelemetrySamples++
+		}
+	case TypeRunEnd:
+		p.End = e.RunEnd
+	}
+}
+
+// Complete reports whether the journal carried its run-end event — false
+// for a crashed or still-running journal.
+func (p *Projection) Complete() bool { return p.End != nil }
+
+// Cards rebuilds the run's scorecards from the accumulated cell events:
+// one card per system, cells in query order, ranked by the benchmark
+// scheme. The result only depends on the cell_done events, never on the
+// run-end payload — that independence is what makes the digest check a
+// real completeness proof.
+func (p *Projection) Cards() []*Card {
+	systems := make([]string, 0, len(p.cells))
+	for sys := range p.cells {
+		systems = append(systems, sys)
+	}
+	sort.Strings(systems)
+	cards := make([]*Card, 0, len(systems))
+	for _, sys := range systems {
+		cells := append([]Cell(nil), p.cells[sys]...)
+		sort.SliceStable(cells, func(i, j int) bool { return cells[i].Query < cells[j].Query })
+		cards = append(cards, &Card{System: sys, Cells: cells})
+	}
+	return Rank(cards)
+}
+
+// Digest recomputes the ranked-scorecard digest from the replayed cells.
+func (p *Projection) Digest() string { return DigestCards(p.Cards()) }
+
+// Verify checks the projection against the run-end event: the digest
+// recomputed from the replayed cell events must equal the digest the live
+// run recorded, and the cell count must match. A nil error on a complete
+// journal means the log is projection-complete: nothing the scorecard
+// depends on was lost or altered between writing and replay.
+func (p *Projection) Verify() error {
+	if p.End == nil {
+		return fmt.Errorf("journal: run incomplete: no run_end event (crashed or still running)")
+	}
+	if p.CellsDone != p.End.Cells {
+		return fmt.Errorf("journal: projection has %d cell results, run_end recorded %d", p.CellsDone, p.End.Cells)
+	}
+	if got := p.Digest(); got != p.End.Digest {
+		return fmt.Errorf("journal: replayed digest %s != recorded %s", got, p.End.Digest)
+	}
+	return nil
+}
+
+// Degraded returns the degraded cells across all systems, in rank then
+// query order — the postmortem list the report renders.
+func (p *Projection) Degraded() []Cell {
+	var out []Cell
+	for _, card := range p.Cards() {
+		for _, cell := range card.Cells {
+			if cell.Degraded {
+				out = append(out, cell)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+package journal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// maxLine bounds one journal line (a telemetry snapshot of a large registry
+// is the biggest event by far; 16 MiB is orders of magnitude above it).
+const maxLine = 16 << 20
+
+// ReadAll decodes a JSONL journal stream. It is crash-tolerant at the tail:
+// a final line that is truncated (no trailing newline and unparseable, or
+// cut mid-write) is treated as a clean end of stream — the writer flushes
+// per event, so only the event in flight at a crash can be damaged. A
+// corrupt line in the middle of the stream is real damage and returns an
+// error, as does a sequence-number regression.
+func ReadAll(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), maxLine)
+	var events []Event
+	var pendingErr error
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if pendingErr != nil {
+			// The bad line had a successor, so it was not a truncated tail.
+			return nil, pendingErr
+		}
+		if len(raw) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(raw, &e); err != nil {
+			// Defer judgment: if this turns out to be the final line it is
+			// a crash-truncated tail and the journal ends cleanly here.
+			pendingErr = fmt.Errorf("journal: line %d: %w", line, err)
+			continue
+		}
+		if n := len(events); n > 0 && e.Seq <= events[n-1].Seq {
+			return nil, fmt.Errorf("journal: line %d: sequence %d not after %d", line, e.Seq, events[n-1].Seq)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return events, nil
+}
+
+// ReadFile reads a journal file with ReadAll's crash tolerance.
+func ReadFile(path string) ([]Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	events, err := ReadAll(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return events, nil
+}

@@ -1,0 +1,59 @@
+package telemetry
+
+import (
+	"runtime"
+	"sort"
+)
+
+// Runtime metric names, as they appear in snapshots and /metrics.
+const (
+	// MetricGoroutines gauges the live goroutine count.
+	MetricGoroutines = "runtime_goroutines"
+	// MetricHeapAlloc and MetricHeapSys gauge heap bytes in use and heap
+	// bytes obtained from the OS.
+	MetricHeapAlloc = "runtime_heap_alloc_bytes"
+	MetricHeapSys   = "runtime_heap_sys_bytes"
+	// MetricGCPauseP99 gauges the 99th-percentile stop-the-world GC pause
+	// in nanoseconds over the runtime's recent-pause ring (up to the last
+	// 256 GC cycles).
+	MetricGCPauseP99 = "runtime_gc_pause_p99_ns"
+	// MetricGCRuns counts completed GC cycles.
+	MetricGCRuns = "runtime_gc_runs_total"
+	// MetricGoMaxProcs gauges the scheduler's processor limit.
+	MetricGoMaxProcs = "runtime_gomaxprocs"
+)
+
+// CaptureRuntime samples the Go runtime's vitals into r: goroutine count,
+// heap alloc/sys, GC pause p99 and cycle count, and GOMAXPROCS. The web
+// site calls it on every /metrics scrape and the benchmark engine samples
+// it into journal telemetry snapshots; both see the same series names.
+func CaptureRuntime(r *Registry) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.Gauge(MetricGoroutines).Set(int64(runtime.NumGoroutine()))
+	r.Gauge(MetricHeapAlloc).Set(int64(ms.HeapAlloc))
+	r.Gauge(MetricHeapSys).Set(int64(ms.HeapSys))
+	r.Gauge(MetricGCPauseP99).Set(gcPauseP99(&ms))
+	r.Counter(MetricGCRuns).Add(int64(ms.NumGC) - r.Counter(MetricGCRuns).Value())
+	r.Gauge(MetricGoMaxProcs).Set(int64(runtime.GOMAXPROCS(0)))
+}
+
+// gcPauseP99 estimates the p99 GC pause from MemStats' circular pause
+// buffer, which keeps the most recent min(NumGC, 256) pause durations.
+func gcPauseP99(ms *runtime.MemStats) int64 {
+	n := int(ms.NumGC)
+	if n == 0 {
+		return 0
+	}
+	if n > len(ms.PauseNs) {
+		n = len(ms.PauseNs)
+	}
+	pauses := make([]uint64, n)
+	copy(pauses, ms.PauseNs[:n])
+	sort.Slice(pauses, func(i, j int) bool { return pauses[i] < pauses[j] })
+	idx := (99*n - 1) / 100 // ceil(0.99*n) - 1, the p99 rank
+	if idx < 0 {
+		idx = 0
+	}
+	return int64(pauses[idx])
+}

@@ -2,9 +2,10 @@ package website
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"thalia/internal/telemetry"
@@ -56,6 +57,15 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
+// Flush forwards to the wrapped writer so SSE streaming (/runs/{id}/events)
+// works through the middleware stack: every nesting level keeps the
+// http.Flusher interface visible.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // status returns the effective status code (200 if the handler never wrote).
 func (w *statusWriter) status() int {
 	if w.code == 0 {
@@ -71,7 +81,7 @@ func (w *statusWriter) status() int {
 func routeLabel(path string) string {
 	switch path {
 	case "/", "/catalogs", "/browse", "/queries", "/scores", "/run-benchmark",
-		"/honor-roll", "/metrics", "/healthz", "/debug/traces", "/debug/explain",
+		"/honor-roll", "/runs", "/metrics", "/healthz", "/debug/traces", "/debug/explain",
 		"/download/catalogs.zip", "/download/benchmark.zip", "/download/solutions.zip":
 		return path
 	}
@@ -82,6 +92,14 @@ func routeLabel(path string) string {
 		return "/browse/:name"
 	case len(path) > len("/schema/") && path[:len("/schema/")] == "/schema/":
 		return "/schema/:name"
+	case strings.HasPrefix(path, "/runs/"):
+		switch {
+		case strings.HasSuffix(path, "/events"):
+			return "/runs/:id/events"
+		case strings.HasSuffix(path, "/report"):
+			return "/runs/:id/report"
+		}
+		return "/runs/:id"
 	}
 	return "unmatched"
 }
@@ -100,16 +118,22 @@ func (s *Site) requestID() middleware {
 	}
 }
 
-// accessLog writes one line per finished request: id, method, path,
-// status, duration.
+// accessLog emits one structured record per finished request: request ID,
+// method, path, normalized route, status and duration. Through SetLogger's
+// legacy adapter this renders as the historical one-line format.
 func (s *Site) accessLog() middleware {
 	return func(next http.Handler) http.Handler {
 		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			sw := &statusWriter{ResponseWriter: w}
 			start := time.Now()
 			next.ServeHTTP(sw, r)
-			s.logger.Printf("%s %s %s %d %s",
-				r.Header.Get("X-Request-ID"), r.Method, r.URL.Path, sw.status(), time.Since(start).Round(time.Microsecond))
+			s.logger.LogAttrs(r.Context(), slog.LevelInfo, logMsgRequest,
+				slog.String("id", r.Header.Get("X-Request-ID")),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.String("route", routeLabel(r.URL.Path)),
+				slog.Int("status", sw.status()),
+				slog.Duration("duration", time.Since(start)))
 		})
 	}
 }
@@ -151,8 +175,11 @@ func (s *Site) recoverPanics() middleware {
 			defer func() {
 				if v := recover(); v != nil {
 					s.metrics.Counter(MetricHTTPPanics).Inc()
-					s.logger.Printf("%s PANIC %s %s: %v",
-						r.Header.Get("X-Request-ID"), r.Method, r.URL.Path, v)
+					s.logger.LogAttrs(r.Context(), slog.LevelError, logMsgPanic,
+						slog.String("id", r.Header.Get("X-Request-ID")),
+						slog.String("method", r.Method),
+						slog.String("path", r.URL.Path),
+						slog.Any("value", v))
 					http.Error(w, "internal server error", http.StatusInternalServerError)
 				}
 			}()
@@ -160,10 +187,6 @@ func (s *Site) recoverPanics() middleware {
 		})
 	}
 }
-
-// SetLogger directs the access log (and panic reports) to l. New() discards
-// them; cmd/thalia-server wires them to stderr.
-func (s *Site) SetLogger(l *log.Logger) { s.logger = l }
 
 // Metrics returns the site's metrics registry — shared by the HTTP
 // middleware and the server-side benchmark runs, and exposed at /metrics.

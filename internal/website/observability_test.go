@@ -1,0 +1,84 @@
+package website
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+
+	"thalia/internal/telemetry"
+)
+
+// Every /metrics scrape samples the Go runtime, so the runtime_* gauges
+// are always current in both expositions.
+func TestMetricsIncludeRuntimeVitals(t *testing.T) {
+	h := New().Handler()
+
+	_, body := get(t, h, "/metrics")
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatal(err)
+	}
+	found := map[string]bool{}
+	for _, g := range snap.Gauges {
+		found[g.Name] = true
+	}
+	for _, want := range []string{
+		telemetry.MetricGoroutines,
+		telemetry.MetricHeapAlloc,
+		telemetry.MetricGCPauseP99,
+		telemetry.MetricGoMaxProcs,
+	} {
+		if !found[want] {
+			t.Errorf("/metrics snapshot missing %s", want)
+		}
+	}
+
+	if _, body := get(t, h, "/metrics?format=prometheus"); !strings.Contains(body, telemetry.MetricGoroutines) {
+		t.Errorf("prometheus exposition missing %s:\n%.400s", telemetry.MetricGoroutines, body)
+	}
+}
+
+// healthz reports the build the process runs — version, revision (when
+// stamped), and the Go toolchain.
+func TestHealthzReportsBuildInfo(t *testing.T) {
+	rec, body := get(t, New().Handler(), "/healthz")
+	if rec.Code != 200 {
+		t.Fatalf("healthz: %d", rec.Code)
+	}
+	var v struct {
+		Version   string `json:"version"`
+		GoVersion string `json:"go_version"`
+	}
+	if err := json.Unmarshal([]byte(body), &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Version == "" || !strings.HasPrefix(v.GoVersion, "go") {
+		t.Errorf("healthz build info = %+v", v)
+	}
+}
+
+// SetSlogger produces structured access-log records with the route,
+// status, and request id as attributes.
+func TestStructuredAccessLog(t *testing.T) {
+	s := New()
+	var buf bytes.Buffer
+	s.SetSlogger(slog.New(slog.NewJSONHandler(&buf, nil)))
+	h := s.Handler()
+	get(t, h, "/catalogs")
+
+	var rec struct {
+		Msg    string `json:"msg"`
+		Method string `json:"method"`
+		Route  string `json:"route"`
+		Status int    `json:"status"`
+		ID     string `json:"id"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("access log is not one JSON record: %v\n%s", err, buf.String())
+	}
+	if rec.Msg != "request" || rec.Method != "GET" || rec.Route != "/catalogs" || rec.Status != 200 || rec.ID == "" {
+		t.Errorf("structured access log = %+v", rec)
+	}
+}

@@ -12,7 +12,7 @@ import (
 	"fmt"
 	"html"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sort"
@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"thalia/internal/benchmark"
+	"thalia/internal/buildinfo"
 	"thalia/internal/catalog"
 	"thalia/internal/cohera"
 	"thalia/internal/hetero"
@@ -40,20 +41,23 @@ type Site struct {
 
 	metrics   *telemetry.Registry
 	tracer    *telemetry.Tracer
-	logger    *log.Logger
+	logger    *slog.Logger
 	nextReqID atomic.Int64
 	started   time.Time
 	shedGate  breakerGate
+	runs      *runManager
 }
 
 // New returns a site with an empty honor roll, a fresh metrics registry
-// and tracer, and a discarded access log (use SetLogger to see it).
+// and tracer, and a discarded access log (use SetSlogger for structured
+// output or SetLogger for the legacy line format).
 func New() *Site {
 	return &Site{
 		metrics: telemetry.NewRegistry(),
 		tracer:  telemetry.NewTracer(),
-		logger:  log.New(io.Discard, "", 0),
+		logger:  slog.New(slog.NewTextHandler(io.Discard, nil)),
 		started: time.Now(),
+		runs:    newRunManager(),
 	}
 }
 
@@ -77,6 +81,8 @@ func (s *Site) Handler() http.Handler {
 	mux.HandleFunc("/scores", s.scores)
 	mux.HandleFunc("/run-benchmark", s.runBenchmark)
 	mux.HandleFunc("/honor-roll", s.honorRoll)
+	mux.HandleFunc("/runs", s.runsIndex)
+	mux.HandleFunc("/runs/", s.runPage)
 	mux.HandleFunc("/metrics", s.metricsPage)
 	mux.HandleFunc("/healthz", s.healthz)
 	mux.HandleFunc("/debug/traces", s.debugTraces)
@@ -91,24 +97,32 @@ func (s *Site) Handler() http.Handler {
 }
 
 // metricsPage serves the site registry: JSON by default, Prometheus text
-// exposition with ?format=prometheus.
+// exposition with ?format=prometheus. Every scrape first samples the Go
+// runtime's vitals (goroutines, heap, GC pause p99, GOMAXPROCS) into the
+// registry, so the runtime_* series are always current.
 func (s *Site) metricsPage(w http.ResponseWriter, r *http.Request) {
+	telemetry.CaptureRuntime(s.metrics)
 	if r.URL.Query().Get("format") == "prometheus" {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if err := s.metrics.WritePrometheus(w); err != nil {
-			s.logger.Printf("metrics: %v", err)
+			s.logger.Warn("metrics exposition failed", "err", err)
 		}
 		return
 	}
 	writeJSON(w, s.metrics.Snapshot())
 }
 
-// healthz is the liveness probe: process up, with uptime and runtime vitals.
+// healthz is the liveness probe: process up, with uptime, runtime vitals,
+// and the build the process is running (module version, VCS revision).
 func (s *Site) healthz(w http.ResponseWriter, r *http.Request) {
+	bi := buildinfo.Read()
 	writeJSON(w, map[string]any{
 		"status":         "ok",
 		"uptime_seconds": time.Since(s.started).Seconds(),
 		"goroutines":     runtime.NumGoroutine(),
+		"version":        bi.Version,
+		"revision":       bi.Revision,
+		"go_version":     bi.GoVersion,
 	})
 }
 
