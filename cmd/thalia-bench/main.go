@@ -5,6 +5,8 @@
 //	                     [-profile DIR] [-journal run.jsonl]
 //	thalia-bench chaos   [-out BENCH_chaos.json] [-runs 3] [-pool N] [-seed 1]
 //	                     [-journal run.jsonl]
+//	thalia-bench scale   [-out BENCH_scale.json] [-sources 35,500,5000]
+//	                     [-mix uniform] [-seed 42] [-pool N] [-journal run.jsonl]
 //	thalia-bench server  [-out BENCH_server.json] [-clients 8] [-requests 50]
 //	thalia-bench plan    [-runs 200]
 //	thalia-bench report  [-json] [-require-complete] <journal.jsonl>
@@ -35,6 +37,12 @@
 // xquery_speedup ratio, server p95 per route. -slowdown multiplies the
 // fresh numbers first — an injected regression that proves the gate
 // actually trips.
+//
+// scale times scenario.MeasureScale: generated workloads of -sources
+// catalogs (comma-separated curve points) with the -mix heterogeneity mix,
+// evaluated by the scenario mediator on a streaming runner — documents
+// materialize per cell and are released, so memory stays O(pool) while the
+// curve's cells/sec rows pin throughput at each size in BENCH_scale.json.
 package main
 
 import (
@@ -46,6 +54,8 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 	"time"
 
 	"thalia/internal/benchmark"
@@ -57,6 +67,7 @@ import (
 	"thalia/internal/iwiz"
 	"thalia/internal/journal"
 	"thalia/internal/rewrite"
+	"thalia/internal/scenario"
 	"thalia/internal/telemetry"
 	"thalia/internal/ufmw"
 	"thalia/internal/website"
@@ -72,13 +83,15 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("need a subcommand: engine | chaos | server | plan | report | compare")
+		return fmt.Errorf("need a subcommand: engine | chaos | scale | server | plan | report | compare")
 	}
 	switch args[0] {
 	case "engine":
 		return engineCmd(args[1:], out)
 	case "chaos":
 		return chaosCmd(args[1:], out)
+	case "scale":
+		return scaleCmd(args[1:], out)
 	case "server":
 		return serverCmd(args[1:], out)
 	case "plan":
@@ -91,7 +104,7 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintln(out, buildinfo.String("thalia-bench"))
 		return nil
 	default:
-		return fmt.Errorf("unknown subcommand %q (engine | chaos | server | plan | report | compare)", args[0])
+		return fmt.Errorf("unknown subcommand %q (engine | chaos | scale | server | plan | report | compare)", args[0])
 	}
 }
 
@@ -243,6 +256,97 @@ func chaosCmd(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "chaos: journaled run written to %s\n", *journalPath)
 	}
 	return nil
+}
+
+// scaleCmd measures the scenario scaling curve and writes the
+// "benchmark_scale" artifact; -journal additionally flight-records one
+// streaming evaluation of the second curve point (500 sources by default)
+// for replay verification.
+func scaleCmd(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("scale", flag.ContinueOnError)
+	path := fs.String("out", "BENCH_scale.json", "artifact path")
+	sourcesFlag := fs.String("sources", "", "comma-separated curve points (default 35,500,5000)")
+	mixFlag := fs.String("mix", "uniform", "heterogeneity mix (e.g. uniform or synonyms:2,nulls)")
+	seed := fs.Int64("seed", 42, "workload generation seed")
+	pool := fs.Int("pool", runtime.GOMAXPROCS(0), "worker pool size")
+	journalPath := fs.String("journal", "", "also flight-record one evaluation to this JSONL journal")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	mix, err := scenario.ParseMix(*mixFlag)
+	if err != nil {
+		return err
+	}
+	points, err := parsePoints(*sourcesFlag)
+	if err != nil {
+		return err
+	}
+	rep, err := scenario.MeasureScale(points, mix, *seed, *pool)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(*path); err != nil {
+		return err
+	}
+	for _, tm := range rep.Timings {
+		fmt.Fprintf(out, "scale: %-14s %10.0f cells/sec (%d run(s), %.1f ms/op)\n",
+			tm.Name, tm.CellsPerSec, tm.Runs, float64(tm.NsPerOp)/1e6)
+	}
+	fmt.Fprintf(out, "scale: wrote %s\n", *path)
+	if *journalPath != "" {
+		n := 500
+		if len(points) > 0 {
+			n = points[0]
+			if len(points) > 1 {
+				n = points[1]
+			}
+		}
+		if err := journaledScaleRun(*journalPath, n, mix, *seed, *pool); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "scale: journaled %d-source run written to %s\n", n, *journalPath)
+	}
+	return nil
+}
+
+// parsePoints parses the -sources list; empty means the default curve.
+func parsePoints(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var points []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("scale: bad -sources point %q", part)
+		}
+		points = append(points, n)
+	}
+	return points, nil
+}
+
+// journaledScaleRun flight-records one streaming scenario evaluation, the
+// scale counterpart of journaledRun: same recorder, scenario mediator and
+// streaming runner instead of the canonical systems.
+func journaledScaleRun(path string, sources int, mix scenario.Mix, seed int64, pool int) error {
+	sc, err := scenario.New(scenario.Params{Sources: sources, Seed: seed, Mix: mix})
+	if err != nil {
+		return err
+	}
+	w, err := journal.Create(path)
+	if err != nil {
+		return err
+	}
+	rec := &journal.Recorder{W: w, RunID: runIDFromPath(path), Harness: "thalia-bench scale", Seed: seed}
+	runner := benchmark.NewStreamingRunner(sc.Queries())
+	runner.Concurrency = pool
+	runner.Telemetry = telemetry.NewRegistry()
+	runner.Journal = rec
+	if _, err := runner.EvaluateAll(sc.NewMediator()); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
 }
 
 // reportCmd replays a run journal into its projection and renders the run
@@ -414,7 +518,7 @@ func compareCmd(args []string, out io.Writer) error {
 
 	var regressions []string
 	switch baseProbe.Suite {
-	case "benchmark_engine", "benchmark_chaos":
+	case "benchmark_engine", "benchmark_chaos", "benchmark_scale":
 		regressions, err = compareEngine(baseRaw, freshRaw, *tolerance, *slowdown, out)
 	case "website_server":
 		regressions, err = compareServer(baseRaw, freshRaw, *tolerance, *slowdown, out)

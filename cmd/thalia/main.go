@@ -15,11 +15,14 @@
 //	thalia bench [--system name]... [--parallel N] [--timeout D] [--telemetry]
 //	             [--profile dir] [--explain-dir dir] [--journal-dir dir]
 //	             [--faults plan.json|standard] [--seed N] [--retries N]
+//	             [--scenario N] [--mix spec] [--scenario-size K]
 //	                                   evaluate systems (default: all),
 //	                                   optionally under injected faults with
 //	                                   retries, backoff and a circuit breaker;
 //	                                   --journal-dir flight-records the run
-//	                                   as a JSONL journal
+//	                                   as a JSONL journal; --scenario swaps
+//	                                   the canonical testbed for a seeded
+//	                                   generated workload of N sources
 //	thalia explain <n> <system>        trace one query's evaluation
 //	thalia hetero                      the heterogeneity classification
 package main
@@ -38,7 +41,9 @@ import (
 	"thalia"
 	"thalia/internal/benchmark"
 	"thalia/internal/buildinfo"
+	"thalia/internal/hetero"
 	"thalia/internal/journal"
+	"thalia/internal/scenario"
 	"thalia/internal/telemetry"
 	"thalia/internal/tess"
 )
@@ -109,13 +114,19 @@ Commands:
         [--seed N]          --explain-dir writes explain traces of failed
         [--retries N]       cells to DIR as JSON; --faults injects a JSON
         [--journal-dir DIR] fault plan (or the "standard" chaos mix) and
-                            evaluates under the seeded resilience policy —
-                            bounded retries with jittered backoff and a
-                            per-system circuit breaker — printing per-cell
+        [--scenario N]      evaluates under the seeded resilience policy —
+        [--mix SPEC]        bounded retries with jittered backoff and a
+        [--scenario-size K] per-system circuit breaker — printing per-cell
                             attempt histories; --retries overrides the
                             attempt budget; --journal-dir flight-records
                             the run to DIR/<run-id>.jsonl (replay with
-                            thalia-bench report)
+                            thalia-bench report); --scenario evaluates a
+                            seeded generated workload of N synthetic
+                            sources instead of the canonical testbed
+                            (streaming, bounded memory), --mix sets the
+                            heterogeneity mix (uniform, or e.g.
+                            synonyms:2,nulls,7:3), --scenario-size scales
+                            courses per catalog (default 12)
   explain <n> <system>      trace one query's evaluation through a system:
         [--json]            operator spans, row counts, provenance events
   export <dir>              write the whole testbed to disk (HTML, XML,
@@ -235,6 +246,8 @@ func bench(args []string) error {
 	var profileDir, explainDir, faultsArg, journalDir string
 	var seed int64 = 1
 	retries := 0
+	scenarioSources, scenarioSize := 0, 0
+	mixArg := ""
 	for i := 0; i < len(args); i++ {
 		switch args[i] {
 		case "--telemetry":
@@ -315,9 +328,57 @@ func bench(args []string) error {
 				return fmt.Errorf("bench: bad --retries value %q (want a positive integer)", args[i])
 			}
 			retries = n
+		case "--scenario":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("bench: --scenario needs a source count")
+			}
+			n, err := strconv.Atoi(args[i])
+			if err != nil || n < 1 {
+				return fmt.Errorf("bench: bad --scenario value %q (want a positive source count)", args[i])
+			}
+			scenarioSources = n
+		case "--mix":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("bench: --mix needs a heterogeneity mix (e.g. uniform or synonyms:2,nulls)")
+			}
+			mixArg = args[i]
+		case "--scenario-size":
+			i++
+			if i >= len(args) {
+				return fmt.Errorf("bench: --scenario-size needs a per-catalog course scale")
+			}
+			n, err := strconv.Atoi(args[i])
+			if err != nil || n < 2 {
+				return fmt.Errorf("bench: bad --scenario-size value %q (want an integer >= 2)", args[i])
+			}
+			scenarioSize = n
 		default:
 			return fmt.Errorf("bench: unknown flag %q", args[i])
 		}
+	}
+	var sc *scenario.Scenario
+	if scenarioSources > 0 {
+		if len(systems) > 0 {
+			return fmt.Errorf("bench: --scenario evaluates the scenario mediator; drop --system")
+		}
+		mix, err := scenario.ParseMix(mixArg)
+		if err != nil {
+			return fmt.Errorf("bench: --mix: %w", err)
+		}
+		sc, err = scenario.New(scenario.Params{Sources: scenarioSources, Seed: seed, Mix: mix, Size: scenarioSize})
+		if err != nil {
+			return fmt.Errorf("bench: %w", err)
+		}
+		// Streaming contract: generated workloads run without the shared
+		// prep cache so expected answers and documents are per-cell
+		// garbage, keeping live memory O(workers) instead of O(sources).
+		runner.Queries = sc.Queries()
+		runner.Prep = nil
+		systems = []thalia.System{sc.NewMediator()}
+	} else if mixArg != "" || scenarioSize != 0 {
+		return fmt.Errorf("bench: --mix and --scenario-size require --scenario")
 	}
 	if len(systems) == 0 {
 		systems = []thalia.System{
@@ -394,9 +455,19 @@ func bench(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Println(thalia.Comparison(cards))
-	for _, card := range cards {
-		fmt.Println(card.Format())
+	if sc != nil {
+		// The canonical side-by-side table assumes the twelve fixed
+		// queries; a scenario run gets the per-class matrix instead.
+		fmt.Println(scenarioMatrix(sc, cards[0]))
+		if sc.Sources() <= 50 {
+			fmt.Println(cards[0].Format())
+		}
+		fmt.Println(benchmark.Summary(cards[0]))
+	} else {
+		fmt.Println(thalia.Comparison(cards))
+		for _, card := range cards {
+			fmt.Println(card.Format())
+		}
 	}
 	if chaos || retries > 0 {
 		fmt.Println(thalia.FormatChaos(cards))
@@ -415,6 +486,42 @@ func bench(args []string) error {
 		fmt.Printf("run journal written to %s (replay with: thalia-bench report %s)\n", journalFile, journalFile)
 	}
 	return nil
+}
+
+// scenarioMatrix renders a generated workload's outcome as a per-class
+// matrix: how many sources drew each heterogeneity class and how the
+// mediator fared on them.
+func scenarioMatrix(sc *scenario.Scenario, card *benchmark.Scorecard) string {
+	type agg struct{ total, correct, supported int }
+	byCase := map[hetero.Case]*agg{}
+	for i, r := range card.Results {
+		c := sc.Case(i)
+		a := byCase[c]
+		if a == nil {
+			a = &agg{}
+			byCase[c] = a
+		}
+		a.total++
+		if r.Supported {
+			a.supported++
+		}
+		if r.Correct {
+			a.correct++
+		}
+	}
+	p := sc.Params()
+	var b strings.Builder
+	fmt.Fprintf(&b, "Scenario workload — %d sources, seed %d, mix %s, size %d\n\n",
+		p.Sources, p.Seed, p.Mix, p.Size)
+	fmt.Fprintf(&b, "%-4s %-42s %8s %8s %9s\n", "Case", "Heterogeneity", "sources", "correct", "supported")
+	for _, c := range hetero.AllCases() {
+		a := byCase[c]
+		if a == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "%-4d %-42s %8d %8d %9d\n", int(c), c.Name(), a.total, a.correct, a.supported)
+	}
+	return b.String()
 }
 
 // startProfiles begins a CPU profile in dir and returns a stop function that

@@ -8,8 +8,10 @@ import (
 	"strings"
 	"testing"
 
+	"thalia/internal/benchmark"
 	"thalia/internal/catalog"
 	"thalia/internal/integration"
+	"thalia/internal/scenario"
 	"thalia/internal/tess"
 	"thalia/internal/xmldom"
 	"thalia/internal/xsd"
@@ -180,6 +182,40 @@ func TestFailureInjectionFlakySystem(t *testing.T) {
 	}
 	if card.CorrectCount() != 0 {
 		t.Errorf("correct = %d", card.CorrectCount())
+	}
+}
+
+// A generated scenario flows through the same public pipeline as the
+// canonical testbed: the scenario mediator scores fully correct over its
+// seeded workload, and the faultline-wrapped variant under the resilience
+// policy degrades per cell but never aborts the evaluation.
+func TestGeneratedScenarioEndToEnd(t *testing.T) {
+	sc, err := scenario.New(scenario.Params{Sources: 30, Seed: 21, Size: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	clean := benchmark.NewStreamingRunner(sc.Queries())
+	clean.Concurrency = 4
+	cards, err := clean.EvaluateAll(sc.NewMediator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := cards[0].CorrectCount(); c != 30 {
+		t.Fatalf("clean scenario run: %d/30 correct:\n%s", c, cards[0].Format())
+	}
+
+	chaos := benchmark.NewStreamingRunner(sc.Queries())
+	chaos.Concurrency = 4
+	chaos.Resilience = DefaultResilience(99)
+	cards, err = chaos.EvaluateAll(WithFaults(sc.NewMediator(), StandardFaultMix(99)))
+	if err != nil {
+		t.Fatalf("chaos scenario run aborted: %v", err)
+	}
+	for _, r := range cards[0].Results {
+		if !r.Supported && r.Err == "" {
+			t.Errorf("query %d: degraded cell without a diagnosis", r.QueryID)
+		}
 	}
 }
 

@@ -320,6 +320,25 @@ func TestPlanCoverageDetectsUnloweredKinds(t *testing.T) {
 	}
 }
 
+// TestScenarioCoverageDetectsUndispatchedClasses proves the
+// scenariocoverage analyzer can fail, against the vetmod fixture: CaseWired
+// is fully wired (dispatch switch case plus test mention) and stays quiet,
+// CaseNoSwitch has no dispatch site in the generator, CaseNoTest is
+// dispatched but no fixture test names it.
+func TestScenarioCoverageDetectsUndispatchedClasses(t *testing.T) {
+	pkgs := loadVetmod(t)
+	findings := scenarioCoverageFor("vetmod/hcase", "vetmod/sgen").Run(pkgs)
+	checkFindings(t, findings, "scenariocoverage", []string{
+		"hetero.CaseNoSwitch has no transform dispatch site in the scenario generator",
+		"hetero.CaseNoTest is exercised by no test in the scenario package",
+	}, []string{"CaseWired", "hidden", "Budget"})
+	for _, f := range findings {
+		if !strings.HasPrefix(f.File, "hcase/") || f.Line == 0 {
+			t.Errorf("finding lacks a declaration position: %s", f)
+		}
+	}
+}
+
 // TestLoadGoPackagesPositions: findings must be reported with repo-relative
 // paths, which requires the loader to record the module root.
 func TestLoadGoPackagesPositions(t *testing.T) {

@@ -28,8 +28,8 @@ type GoAnalyzer struct {
 func DefaultGoAnalyzers() []*GoAnalyzer {
 	return []*GoAnalyzer{
 		Determinism(), PanicPath(), ErrCheck(), ExplainKinds(), FaultKinds(),
-		PlanCoverage(), CtxFlow(), LockDiscipline(), GoLeak(), MapFlow(),
-		TelemetryContract(),
+		PlanCoverage(), ScenarioCoverage(), CtxFlow(), LockDiscipline(),
+		GoLeak(), MapFlow(), TelemetryContract(),
 	}
 }
 

@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Import paths of the heterogeneity taxonomy and the scenario generator
+// whose coverage the analyzer audits.
+const (
+	heteroPath        = "thalia/internal/hetero"
+	scenarioGenerator = "thalia/internal/scenario"
+)
+
+// ScenarioCoverage returns the analyzer that keeps the scenario generator
+// total over the THALIA taxonomy: every exported hetero.Case constant must
+// have a transform dispatch site — a switch case in the scenario package's
+// non-test files — and a test in the scenario package that exercises it by
+// name. A class the generator cannot dispatch silently vanishes from every
+// generated workload whose mix names it; a class no test mentions can rot
+// without failing anything.
+func ScenarioCoverage() *GoAnalyzer { return scenarioCoverageFor(heteroPath, scenarioGenerator) }
+
+// scenarioCoverageFor audits the Case vocabulary of casePath against the
+// generator at genPath — the seam the analyzer's own tests use to point it
+// at a fixture module.
+func scenarioCoverageFor(casePath, genPath string) *GoAnalyzer {
+	return &GoAnalyzer{
+		Name: "scenariocoverage",
+		Doc:  "every hetero.Case has a transform dispatch site in the scenario generator and a test exercising it",
+		Run:  func(pkgs []*GoPackage) []Finding { return runScenarioCoverage(pkgs, casePath, genPath) },
+	}
+}
+
+func runScenarioCoverage(pkgs []*GoPackage, casePath, genPath string) []Finding {
+	var casePkg, genPkg *GoPackage
+	for _, p := range pkgs {
+		switch p.ImportPath {
+		case casePath:
+			casePkg = p
+		case genPath:
+			genPkg = p
+		}
+	}
+	if casePkg == nil || genPkg == nil {
+		return nil // one side is outside the analysis scope
+	}
+
+	// The exported constants of the named type hetero.Case.
+	kinds := map[string]*types.Const{}
+	scope := casePkg.Types.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !c.Exported() {
+			continue
+		}
+		named, ok := c.Type().(*types.Named)
+		if ok && named.Obj().Name() == "Case" && named.Obj().Pkg() != nil &&
+			named.Obj().Pkg().Path() == casePath {
+			kinds[c.Name()] = c
+		}
+	}
+	if len(kinds) == 0 {
+		return nil
+	}
+
+	// A dispatch site is a switch case label in the generator's non-test
+	// files resolving to one of the Case constants.
+	dispatched := map[string]bool{}
+	for _, f := range genPkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok {
+				return true
+			}
+			for _, stmt := range sw.Body.List {
+				cc, ok := stmt.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				for _, expr := range cc.List {
+					var id *ast.Ident
+					switch x := ast.Unparen(expr).(type) {
+					case *ast.Ident:
+						id = x
+					case *ast.SelectorExpr:
+						id = x.Sel
+					default:
+						continue
+					}
+					c, ok := genPkg.Info.Uses[id].(*types.Const)
+					if !ok {
+						continue
+					}
+					if _, declared := kinds[c.Name()]; declared && c.Pkg() != nil && c.Pkg().Path() == casePath {
+						dispatched[c.Name()] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// A test exercises a class when its constant name appears in a _test.go
+	// file of the generator package. The loader only parses non-test files,
+	// so this is a textual scan of the package directory.
+	tested := map[string]bool{}
+	entries, err := os.ReadDir(genPkg.Dir)
+	if err == nil {
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), "_test.go") {
+				continue
+			}
+			src, err := os.ReadFile(filepath.Join(genPkg.Dir, e.Name()))
+			if err != nil {
+				continue
+			}
+			for k := range kinds {
+				if strings.Contains(string(src), k) {
+					tested[k] = true
+				}
+			}
+		}
+	}
+
+	names := make([]string, 0, len(kinds))
+	for k := range kinds {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var out []Finding
+	for _, k := range names {
+		file, line, col := casePkg.Position(kinds[k].Pos())
+		if !dispatched[k] {
+			out = append(out, Finding{Check: "scenariocoverage", File: file, Line: line, Column: col,
+				Message: fmt.Sprintf("hetero.%s has no transform dispatch site in the scenario generator (the class cannot be generated)", k)})
+		}
+		if !tested[k] {
+			out = append(out, Finding{Check: "scenariocoverage", File: file, Line: line, Column: col,
+				Message: fmt.Sprintf("hetero.%s is exercised by no test in the scenario package", k)})
+		}
+	}
+	return out
+}

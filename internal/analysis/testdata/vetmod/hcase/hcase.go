@@ -1,0 +1,22 @@
+// Package hcase seeds the scenariocoverage vocabulary: a tiny
+// heterogeneity taxonomy with one fully dispatched-and-tested class, one
+// class the fixture generator has no dispatch site for, and one class no
+// fixture test mentions.
+package hcase
+
+// Case is the fixture heterogeneity class.
+type Case int
+
+const (
+	// CaseWired is fully wired: dispatched in sgen and named in its test.
+	CaseWired Case = iota + 1
+	// CaseNoSwitch has no dispatch site in sgen (it cannot be generated).
+	CaseNoSwitch
+	// CaseNoTest is dispatched but appears in no sgen test.
+	CaseNoTest
+	// hidden is unexported and must not be reported.
+	hidden //nolint:unused
+)
+
+// Budget is not a Case constant and must not be reported.
+const Budget = 7

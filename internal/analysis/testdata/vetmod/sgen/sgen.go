@@ -1,0 +1,17 @@
+// Package sgen is the fixture generator scenariocoverage audits: its
+// transform switch dispatches CaseWired and CaseNoTest but has no case for
+// CaseNoSwitch.
+package sgen
+
+import "vetmod/hcase"
+
+// Transform applies the fixture class to a value.
+func Transform(c hcase.Case, v string) string {
+	switch c {
+	case hcase.CaseWired:
+		return "wired:" + v
+	case hcase.CaseNoTest:
+		return "untested:" + v
+	}
+	return v
+}

@@ -1,0 +1,18 @@
+package sgen
+
+import (
+	"testing"
+
+	"vetmod/hcase"
+)
+
+// TestTransform names CaseWired (and CaseNoSwitch, which is still reported
+// for its missing dispatch site) but never the untested class.
+func TestTransform(t *testing.T) {
+	if Transform(hcase.CaseWired, "x") != "wired:x" {
+		t.Fail()
+	}
+	if Transform(hcase.CaseNoSwitch, "x") != "x" {
+		t.Fail()
+	}
+}

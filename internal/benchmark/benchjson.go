@@ -23,6 +23,11 @@ type Timing struct {
 	Runs int `json:"runs"`
 	// NsPerOp is the mean wall-clock nanoseconds per EvaluateAll.
 	NsPerOp int64 `json:"ns_per_op"`
+	// CellsPerSec is the evaluation throughput in query×system cells per
+	// second, for suites (like benchmark_scale) whose configurations differ
+	// in workload size rather than engine configuration — the scaling-curve
+	// number. Zero (omitted) in suites that do not measure it.
+	CellsPerSec float64 `json:"cells_per_sec,omitempty"`
 }
 
 // Report is a benchmark-regression artifact: the sequential and parallel

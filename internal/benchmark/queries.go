@@ -48,6 +48,21 @@ type Query struct {
 // Expected returns the expected integrated answer rows.
 func (q *Query) Expected() ([]integration.Row, error) { return q.truth() }
 
+// NewQuery constructs a benchmark query from generated parts. Scenario
+// workloads (internal/scenario) use this to build query families whose
+// expected answers are computed, not hand-written: truth must return the
+// integrated rows the answer is scored against, and must be safe to call
+// from any goroutine (the engine may invoke it once per cell when no
+// shared-prep cache is attached).
+func NewQuery(id int, c hetero.Case, name, xquery, reference, challenge string, fields []string, truth func() ([]integration.Row, error)) *Query {
+	return &Query{
+		ID: id, Case: c, Name: name,
+		PaperXQuery: xquery, XQuery: xquery,
+		Reference: reference, ChallengeSource: challenge,
+		Fields: fields, truth: truth,
+	}
+}
+
 // Request converts the query into the request handed to a system.
 func (q *Query) Request() integration.Request {
 	return integration.Request{

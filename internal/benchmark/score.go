@@ -169,8 +169,8 @@ func (s *Scorecard) Format() string {
 		}
 		b.WriteString("\n")
 	}
-	fmt.Fprintf(&b, "  Score: %d/12 correct, complexity score %d (%d queries with no code)\n",
-		s.CorrectCount(), s.ComplexityScore(), s.NoCodeCount())
+	fmt.Fprintf(&b, "  Score: %d/%d correct, complexity score %d (%d queries with no code)\n",
+		s.CorrectCount(), len(s.Results), s.ComplexityScore(), s.NoCodeCount())
 	return b.String()
 }
 

@@ -1,0 +1,350 @@
+package hetero
+
+import (
+	"regexp"
+	"sort"
+	"strings"
+
+	"thalia/internal/mapping"
+	"thalia/internal/xmldom"
+)
+
+// DetectDocs diagnoses which of the twelve heterogeneity cases a challenge
+// document exhibits relative to a reference-shaped document of the same
+// data. Both documents are read as a flat catalog: the root's child
+// elements are the records ("courses"), their descendants the attributes.
+//
+// The detector is a structural/lexical heuristic, not an oracle: it knows
+// the benchmark's synonym pairs, the German schema lexicon, the clock and
+// Umfang spellings, and the one concept (student classification) whose
+// absence means semantic incompatibility rather than a null. That is
+// exactly the knowledge the paper says an integration system must bring;
+// here it powers conformance checking of generated scenario catalogs
+// (internal/scenario) and document-pair diagnostics. The returned cases
+// are sorted and unique.
+func DetectDocs(ref, chal *xmldom.Document) []Case {
+	if ref == nil || ref.Root == nil || chal == nil || chal.Root == nil {
+		return nil
+	}
+	r := newDocFacts(ref)
+	c := newDocFacts(chal)
+	found := map[Case]bool{}
+
+	detectSynonyms(r, c, found)
+	detectSimpleMapping(r, c, found)
+	detectUnionTypes(r, c, found)
+	detectComplexMappings(r, c, found)
+	detectLanguage(r, c, found)
+	detectNulls(r, c, found)
+	detectVirtualColumns(r, c, found)
+	detectSemanticIncompat(r, c, found)
+	detectStructure(r, c, found)
+	detectSets(r, c, found)
+	detectColumnNames(c, found)
+	detectComposition(r, c, found)
+
+	out := make([]Case, 0, len(found))
+	for cs := range found {
+		out = append(out, cs)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// docFacts is the element inventory the detection rules consult.
+type docFacts struct {
+	courses []*xmldom.Element
+	// names maps a lowercased element name to the per-course child
+	// elements carrying it, at any depth below the course element.
+	names map[string][]*xmldom.Element
+	// perCourse[name] counts how many courses have at least one element of
+	// that name anywhere below them.
+	perCourse map[string]int
+	// depth1 and depth2 record whether the name occurs as a direct course
+	// child (depth 1) or deeper (depth 2+).
+	depth1, depth2 map[string]bool
+	// maxSiblings[name] is the largest number of same-named DIRECT children
+	// any single course has — >1 means a repeated (set-valued) attribute.
+	maxSiblings map[string]int
+}
+
+func newDocFacts(d *xmldom.Document) *docFacts {
+	f := &docFacts{
+		names:       map[string][]*xmldom.Element{},
+		perCourse:   map[string]int{},
+		depth1:      map[string]bool{},
+		depth2:      map[string]bool{},
+		maxSiblings: map[string]int{},
+	}
+	f.courses = d.Root.ChildElements()
+	for _, course := range f.courses {
+		seen := map[string]bool{}
+		siblings := map[string]int{}
+		var walk func(e *xmldom.Element, depth int)
+		walk = func(e *xmldom.Element, depth int) {
+			for _, ch := range e.ChildElements() {
+				name := strings.ToLower(ch.LocalName())
+				f.names[name] = append(f.names[name], ch)
+				seen[name] = true
+				if depth == 1 {
+					f.depth1[name] = true
+					siblings[name]++
+				} else {
+					f.depth2[name] = true
+				}
+				walk(ch, depth+1)
+			}
+		}
+		walk(course, 1)
+		for name := range seen {
+			f.perCourse[name]++
+		}
+		for name, n := range siblings {
+			if n > f.maxSiblings[name] {
+				f.maxSiblings[name] = n
+			}
+		}
+	}
+	return f
+}
+
+// everywhere reports whether every course carries the name.
+func (f *docFacts) everywhere(name string) bool {
+	return len(f.courses) > 0 && f.perCourse[name] == len(f.courses)
+}
+
+// nowhere reports whether no course carries the name.
+func (f *docFacts) nowhere(name string) bool { return f.perCourse[name] == 0 }
+
+// sortedNames returns the inventory's names in deterministic order.
+func (f *docFacts) sortedNames() []string {
+	names := make([]string, 0, len(f.perCourse))
+	for n := range f.perCourse {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// synonymPairs are the benchmark's same-language attribute synonyms
+// (cross-language renamings are case 5, not case 1).
+var synonymPairs = [][2]string{
+	{"instructor", "lecturer"},
+	{"instructor", "teacher"},
+	{"prerequisite", "prereq"},
+	{"credits", "units"},
+}
+
+func detectSynonyms(r, c *docFacts, found map[Case]bool) {
+	for _, p := range synonymPairs {
+		a, b := p[0], p[1]
+		if !r.nowhere(a) && r.nowhere(b) && c.nowhere(a) && !c.nowhere(b) {
+			found[Synonyms] = true
+		}
+		if !r.nowhere(b) && r.nowhere(a) && c.nowhere(b) && !c.nowhere(a) {
+			found[Synonyms] = true
+		}
+	}
+}
+
+var meridiemRE = regexp.MustCompile(`(?i)\d\s*(am|pm)\b`)
+
+// clockStyle classifies a set of elements' values: 12-hour (am/pm marker),
+// 24-hour (parses as a clock or range without a marker), or neither.
+func clockStyle(els []*xmldom.Element) (twelve, twentyFour bool) {
+	for _, e := range els {
+		v := strings.TrimSpace(e.Text())
+		if v == "" {
+			continue
+		}
+		if meridiemRE.MatchString(v) {
+			twelve = true
+			continue
+		}
+		if _, _, err := mapping.ParseClockRange(v); err == nil {
+			twentyFour = true
+		} else if _, err := mapping.ParseClock(v); err == nil {
+			twentyFour = true
+		}
+	}
+	return twelve, twentyFour
+}
+
+// timeElements gathers the meeting-time elements under either spelling.
+func timeElements(f *docFacts) []*xmldom.Element {
+	return append(append([]*xmldom.Element(nil), f.names["time"]...), f.names["zeit"]...)
+}
+
+func detectSimpleMapping(r, c *docFacts, found map[Case]bool) {
+	r12, r24 := clockStyle(timeElements(r))
+	c12, c24 := clockStyle(timeElements(c))
+	if (r24 && !r12 && c12) || (r12 && !r24 && c24 && !c12) {
+		found[SimpleMapping] = true
+	}
+}
+
+func detectUnionTypes(r, c *docFacts, found map[Case]bool) {
+	for _, name := range c.sortedNames() {
+		if r.nowhere(name) {
+			continue
+		}
+		refAttrs, chalAttrs := false, false
+		for _, e := range r.names[name] {
+			if len(e.Attrs) > 0 {
+				refAttrs = true
+			}
+		}
+		for _, e := range c.names[name] {
+			if len(e.Attrs) > 0 {
+				chalAttrs = true
+			}
+		}
+		if chalAttrs && !refAttrs {
+			found[UnionTypes] = true
+		}
+	}
+}
+
+// umfangValueRE matches ETH-style workload notation like "2V1U".
+var umfangValueRE = regexp.MustCompile(`^\s*\d+V\d+U\s*$`)
+
+func detectComplexMappings(r, c *docFacts, found map[Case]bool) {
+	chalUmfang := false
+	for _, name := range c.sortedNames() {
+		for _, e := range c.names[name] {
+			if umfangValueRE.MatchString(e.Text()) {
+				chalUmfang = true
+			}
+		}
+	}
+	refUmfang := false
+	for _, name := range r.sortedNames() {
+		for _, e := range r.names[name] {
+			if umfangValueRE.MatchString(e.Text()) {
+				refUmfang = true
+			}
+		}
+	}
+	if chalUmfang && !refUmfang {
+		found[ComplexMappings] = true
+	}
+}
+
+func detectLanguage(r, c *docFacts, found map[Case]bool) {
+	lex := mapping.NewGermanLexicon()
+	for _, name := range c.sortedNames() {
+		en := strings.ToLower(lex.TranslateTag(name))
+		if en != name && !r.nowhere(en) && r.nowhere(name) {
+			found[LanguageExpression] = true
+			return
+		}
+	}
+}
+
+func detectNulls(r, c *docFacts, found map[Case]bool) {
+	for _, name := range r.sortedNames() {
+		if !r.everywhere(name) {
+			continue
+		}
+		n := c.perCourse[name]
+		if n > 0 && n < len(c.courses) {
+			found[Nulls] = true
+			return
+		}
+	}
+}
+
+// entryLevelHintRE spots prerequisite information buried in free text.
+var entryLevelHintRE = regexp.MustCompile(`(?i)prerequisite|prereq|first course in sequence|no prior experience`)
+
+func detectVirtualColumns(r, c *docFacts, found map[Case]bool) {
+	if r.nowhere("prerequisite") || !c.nowhere("prerequisite") {
+		return
+	}
+	for _, e := range c.names["comment"] {
+		if entryLevelHintRE.MatchString(e.Text()) {
+			found[VirtualColumns] = true
+			return
+		}
+	}
+}
+
+// inapplicableConcepts are attributes whose absence from an entire catalog
+// means the real-world concept does not exist in that schema's world (the
+// paper's case 8: US student classification at a European university) —
+// as opposed to data that is merely missing (case 6).
+var inapplicableConcepts = []string{"restriction", "classification"}
+
+func detectSemanticIncompat(r, c *docFacts, found map[Case]bool) {
+	for _, name := range inapplicableConcepts {
+		if r.everywhere(name) && c.nowhere(name) {
+			found[SemanticIncompatibility] = true
+			return
+		}
+	}
+}
+
+func detectStructure(r, c *docFacts, found map[Case]bool) {
+	for _, name := range c.sortedNames() {
+		if r.depth1[name] && !r.depth2[name] && c.depth2[name] && !c.depth1[name] {
+			found[SameAttributeDifferentStructure] = true
+			return
+		}
+	}
+}
+
+func detectSets(r, c *docFacts, found map[Case]bool) {
+	for _, name := range r.sortedNames() {
+		if r.maxSiblings[name] < 2 {
+			continue
+		}
+		// The reference repeats the element; a challenge that instead
+		// joins the values into one set-valued attribute (same name or a
+		// pluralized one) exhibits case 10.
+		for _, cand := range []string{name, name + "s"} {
+			if c.maxSiblings[cand] > 1 {
+				continue
+			}
+			for _, e := range c.names[cand] {
+				if strings.Contains(e.Text(), ";") {
+					found[HandlingSets] = true
+					return
+				}
+			}
+		}
+	}
+}
+
+// termNameRE matches element names that are themselves data values — terms
+// like "Fall2003" used as column names (case 11).
+var termNameRE = regexp.MustCompile(`^(?i:fall|winter|spring|summer)\d{4}$`)
+
+func detectColumnNames(c *docFacts, found map[Case]bool) {
+	for _, name := range c.sortedNames() {
+		if termNameRE.MatchString(name) {
+			found[AttributeNameDoesNotDefineSemantics] = true
+			return
+		}
+	}
+}
+
+// compositeRE matches a composed listing value: free text, then a day
+// pattern and a clock range ("Advanced Algorithms. MWF 13:30-14:50").
+var compositeRE = regexp.MustCompile(`\. [A-Za-z]{1,5} \d{1,2}:\d{2}`)
+
+func detectComposition(r, c *docFacts, found map[Case]bool) {
+	if r.maxSiblings["title"] == 0 {
+		return
+	}
+	if !c.nowhere("title") {
+		return
+	}
+	for _, name := range c.sortedNames() {
+		for _, e := range c.names[name] {
+			if compositeRE.MatchString(e.Text()) {
+				found[AttributeComposition] = true
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package scenario
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"thalia/internal/benchmark"
+)
+
+// DefaultScalePoints are the workload sizes the committed BENCH_scale.json
+// artifact pins: the paper's own 35, then two orders past it.
+var DefaultScalePoints = []int{35, 500, 5000}
+
+// scaleRuns picks how many full evaluations to sample at a given size —
+// more passes at small sizes where a single pass is too quick to time
+// stably, one pass at sizes that take seconds on their own.
+func scaleRuns(n int) int {
+	switch {
+	case n <= 50:
+		return 12
+	case n <= 1000:
+		return 4
+	default:
+		return 1
+	}
+}
+
+// MeasureScale times the streaming evaluation of generated scenarios at
+// each workload size and returns the "benchmark_scale" report: one timing
+// row per point with the cells/second throughput that the scaling-curve
+// gate compares. Every pass must score fully correct — a throughput number
+// for a wrong evaluation would be meaningless — so a correctness miss is an
+// error, not a data point.
+func MeasureScale(points []int, mix Mix, seed int64, pool int) (*benchmark.Report, error) {
+	if len(points) == 0 {
+		points = DefaultScalePoints
+	}
+	if pool <= 0 {
+		pool = runtime.GOMAXPROCS(0)
+	}
+	rep := &benchmark.Report{Suite: "benchmark_scale", GoMaxProcs: runtime.GOMAXPROCS(0)}
+	for _, n := range points {
+		sc, err := New(Params{Sources: n, Seed: seed, Mix: mix})
+		if err != nil {
+			return nil, err
+		}
+		med := sc.NewMediator()
+		if len(rep.Systems) == 0 {
+			rep.Systems = append(rep.Systems, med.Name())
+		}
+		r := benchmark.NewStreamingRunner(sc.Queries())
+		r.Concurrency = pool
+		check := func() error {
+			cards, err := r.EvaluateAll(med)
+			if err != nil {
+				return fmt.Errorf("scenario: scale n=%d: %w", n, err)
+			}
+			if c := cards[0].CorrectCount(); c != n {
+				return fmt.Errorf("scenario: scale n=%d: only %d/%d cells correct", n, c, n)
+			}
+			return nil
+		}
+		if err := check(); err != nil { // warm pass, not timed
+			return nil, err
+		}
+		// Report the best pass, not the mean: on shared hardware the
+		// minimum is the least noisy estimator of the workload's cost, and
+		// the ±30% regression gate needs numbers that survive a rerun.
+		runs := scaleRuns(n)
+		var ns int64
+		for k := 0; k < runs; k++ {
+			start := time.Now()
+			if err := check(); err != nil {
+				return nil, err
+			}
+			if d := time.Since(start).Nanoseconds(); ns == 0 || d < ns {
+				ns = d
+			}
+		}
+		t := benchmark.Timing{Name: fmt.Sprintf("scale/n%d", n), Runs: runs, NsPerOp: ns}
+		if ns > 0 {
+			t.CellsPerSec = float64(n) / (float64(ns) / 1e9)
+		}
+		rep.Timings = append(rep.Timings, t)
+	}
+	return rep, nil
+}

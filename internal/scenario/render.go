@@ -1,0 +1,189 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+
+	"thalia/internal/catalog"
+	"thalia/internal/hetero"
+	"thalia/internal/xmldom"
+)
+
+// ReferenceDocument renders source i in the benchmark's reference shape:
+// <catalog school="sNNNNN"> of <course> records with number, title, one
+// <instructor> per instructor, days, 24-hour time range, room, credits,
+// prerequisite, textbook (element always present, possibly empty),
+// restriction, semester and comment.
+func (sc *Scenario) ReferenceDocument(i int) *xmldom.Document {
+	cs, _ := sc.gen(i)
+	root := xmldom.NewElement("catalog").SetAttr("school", sc.Name(i))
+	for k := range cs {
+		root.Append(refCourse(&cs[k]))
+	}
+	return xmldom.NewDocument(root)
+}
+
+// ChallengeDocument renders source i in its heterogeneity dialect: the
+// reference shape transformed by the source's assigned case. The switch
+// below is the generator's per-class dispatch — every hetero.Case must
+// have an arm here (enforced by the scenariocoverage vet analyzer).
+func (sc *Scenario) ChallengeDocument(i int) *xmldom.Document {
+	cs, spec := sc.gen(i)
+	root := xmldom.NewElement("catalog").SetAttr("school", sc.Name(i))
+	for k := range cs {
+		root.Append(challengeCourse(&cs[k], spec.Case))
+	}
+	return xmldom.NewDocument(root)
+}
+
+// ChallengeXML renders source i's challenge document as an XML string —
+// the fuzz targets parse this back to prove generated catalogs are
+// well-formed.
+func (sc *Scenario) ChallengeXML(i int) string {
+	var b strings.Builder
+	_ = sc.ChallengeDocument(i).WriteTo(&b, xmldom.WriteOptions{Indent: "  "})
+	return b.String()
+}
+
+// timeRange24 renders a course's meeting time in the reference spelling.
+func timeRange24(c *catalog.Course) string {
+	return catalog.Clock24(c.Start) + "-" + catalog.Clock24(c.End)
+}
+
+// refCourse builds one reference-shaped course element.
+func refCourse(c *catalog.Course) *xmldom.Element {
+	e := xmldom.NewElement("course")
+	appendField(e, "number", c.Number)
+	appendField(e, "title", c.Title)
+	for _, in := range c.Instructors {
+		appendField(e, "instructor", in.Name)
+	}
+	appendField(e, "days", c.Days)
+	appendField(e, "time", timeRange24(c))
+	appendField(e, "room", c.Room)
+	appendField(e, "credits", fmt.Sprintf("%d", c.Credits))
+	appendField(e, "prerequisite", c.Prereq)
+	appendField(e, "textbook", c.Textbook)
+	appendField(e, "restriction", c.Restrict)
+	appendField(e, "semester", c.Semester)
+	appendField(e, "comment", c.Comment)
+	return e
+}
+
+func appendField(e *xmldom.Element, name, value string) {
+	f := xmldom.NewElement(name)
+	if value != "" {
+		f.AppendText(value)
+	}
+	e.Append(f)
+}
+
+// challengeCourse transforms a reference-shaped course into the dialect of
+// the given heterogeneity case. Each arm realizes exactly one of the
+// paper's twelve cases, phrased so internal/hetero.DetectDocs diagnoses
+// that case (and only that case) from the rendered pair.
+func challengeCourse(c *catalog.Course, cse hetero.Case) *xmldom.Element {
+	e := refCourse(c)
+	switch cse {
+	case hetero.Synonyms:
+		// Case 1: same attribute, different name.
+		renameChildren(e, "instructor", "lecturer")
+	case hetero.SimpleMapping:
+		// Case 2: same attribute, 12-hour clock spelling.
+		setChildText(e, "time", catalog.Clock12(c.Start)+"-"+catalog.Clock12(c.End))
+	case hetero.UnionTypes:
+		// Case 3: the title gains an attribute (hyperlink), a union type.
+		e.Child("title").SetAttr("url", c.TitleURL)
+	case hetero.ComplexMappings:
+		// Case 4: credits spelled as an ETH-style workload ("2V1U").
+		lecture := c.Credits - 1
+		if lecture < 1 {
+			lecture = 1
+		}
+		removeChildren(e, "credits")
+		appendField(e, "umfang", fmt.Sprintf("%dV%dU", lecture, c.Credits-lecture))
+	case hetero.LanguageExpression:
+		// Case 5: German schema and German title value.
+		e.Name = "Vorlesung"
+		renameChildren(e, "number", "Nummer")
+		renameChildren(e, "instructor", "Dozent")
+		renameChildren(e, "time", "Zeit")
+		renameChildren(e, "room", "Raum")
+		renameChildren(e, "semester", "Semester")
+		t := e.Child("title")
+		t.Name = "Titel"
+		setText(t, c.GermanTitle)
+	case hetero.Nulls:
+		// Case 6: a missing textbook drops the element entirely.
+		if strings.TrimSpace(c.Textbook) == "" {
+			removeChildren(e, "textbook")
+		}
+	case hetero.VirtualColumns:
+		// Case 7: no prerequisite column; the comment carries the info.
+		removeChildren(e, "prerequisite")
+	case hetero.SemanticIncompatibility:
+		// Case 8: student classification does not exist in this world.
+		removeChildren(e, "restriction")
+	case hetero.SameAttributeDifferentStructure:
+		// Case 9: the room moves under a section element.
+		removeChildren(e, "room")
+		sec := xmldom.NewElement("section")
+		appendField(sec, "room", c.Room)
+		e.Append(sec)
+	case hetero.HandlingSets:
+		// Case 10: the instructor set joins into one set-valued attribute.
+		removeChildren(e, "instructor")
+		names := make([]string, len(c.Instructors))
+		for k, in := range c.Instructors {
+			names[k] = in.Name
+		}
+		appendField(e, "instructors", strings.Join(names, "; "))
+	case hetero.AttributeNameDoesNotDefineSemantics:
+		// Case 11: the semester becomes the column NAME holding the
+		// instructor — the value lives in the schema.
+		removeChildren(e, "instructor")
+		removeChildren(e, "semester")
+		appendField(e, strings.ReplaceAll(c.Semester, " ", ""), c.Instructors[0].Name)
+	case hetero.AttributeComposition:
+		// Case 12: title, days and time compose into one listing value.
+		removeChildren(e, "title")
+		removeChildren(e, "days")
+		removeChildren(e, "time")
+		appendField(e, "listing", fmt.Sprintf("%s. %s %s", c.Title, c.Days, timeRange24(c)))
+	}
+	return e
+}
+
+// renameChildren renames every direct child called from to to.
+func renameChildren(e *xmldom.Element, from, to string) {
+	for _, ch := range e.ChildrenNamed(from) {
+		ch.Name = to
+	}
+}
+
+// removeChildren drops every direct child element called name.
+func removeChildren(e *xmldom.Element, name string) {
+	out := e.Children[:0]
+	for _, n := range e.Children {
+		if el, ok := n.(*xmldom.Element); ok && el.Name == name {
+			continue
+		}
+		out = append(out, n)
+	}
+	e.Children = out
+}
+
+// setText replaces an element's content with one text node.
+func setText(e *xmldom.Element, s string) {
+	e.Children = nil
+	if s != "" {
+		e.AppendText(s)
+	}
+}
+
+// setChildText replaces the first child name's content.
+func setChildText(e *xmldom.Element, name, s string) {
+	if ch := e.Child(name); ch != nil {
+		setText(ch, s)
+	}
+}

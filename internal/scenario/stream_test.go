@@ -1,0 +1,112 @@
+package scenario
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"thalia/internal/benchmark"
+	"thalia/internal/faultline"
+)
+
+// streamHeapCeiling is the live-heap growth budget for the 5000-source
+// run. The workload necessarily holds O(sources) query metadata and
+// scorecard rows (a few MB); if released challenge documents accumulated
+// instead of dying — O(sources) documents at ~50KB each is ~250MB — the
+// run blows through this ceiling many times over.
+const streamHeapCeiling = 128 << 20
+
+// TestStreamingMemoryBounded is the bounded-memory regression gate: a
+// 5000-source evaluation must keep peak live heap O(pool), not O(sources),
+// and the DocSource high-water mark must never exceed the worker pool.
+func TestStreamingMemoryBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("5000-source evaluation; skipped with -short")
+	}
+	const sources, pool = 5000, 8
+	sc, err := New(Params{Sources: sources, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	med := sc.NewMediator()
+	r := benchmark.NewStreamingRunner(sc.Queries())
+	r.Concurrency = pool
+
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	var peak atomic.Uint64
+	done := make(chan struct{})
+	go func() {
+		ticker := time.NewTicker(5 * time.Millisecond)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				var m runtime.MemStats
+				runtime.ReadMemStats(&m)
+				if m.HeapAlloc > peak.Load() {
+					peak.Store(m.HeapAlloc)
+				}
+			}
+		}
+	}()
+
+	cards, err := r.EvaluateAll(med)
+	close(done)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := cards[0].CorrectCount(); c != sources {
+		t.Fatalf("%d/%d correct", c, sources)
+	}
+
+	builds, live, highWater := med.Docs().Stats()
+	if builds != sources {
+		t.Errorf("builds = %d, want %d (one per source)", builds, sources)
+	}
+	if live != 0 {
+		t.Errorf("%d documents still live after the run", live)
+	}
+	if highWater > pool {
+		t.Errorf("DocSource high water %d exceeds pool %d: streaming bound broken", highWater, pool)
+	}
+	if grew := int64(peak.Load()) - int64(before.HeapAlloc); grew > streamHeapCeiling {
+		t.Errorf("peak live heap grew %d MB, budget %d MB: documents are accumulating",
+			grew>>20, int64(streamHeapCeiling)>>20)
+	}
+}
+
+// TestScenarioChaosDegradesNeverAborts extends the chaos conformance
+// contract to generated scenarios: a fault-wrapped mediator under the
+// resilience policy must finish the run (degraded cells, never an abort)
+// and two same-seed runs must render byte-identical chaos scorecards.
+func TestScenarioChaosDegradesNeverAborts(t *testing.T) {
+	plan := &faultline.Plan{Seed: 1337, Rules: []faultline.Rule{
+		{Kind: faultline.KindTransient, Probability: 0.30},
+		{Kind: faultline.KindPermanent, Probability: 0.05},
+	}}
+	var renders []string
+	for run := 0; run < 2; run++ {
+		sc, err := New(Params{Sources: 20, Seed: 13, Size: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := benchmark.NewStreamingRunner(sc.Queries())
+		r.Concurrency = 4
+		r.Resilience = benchmark.DefaultResilience(1337)
+		cards, err := r.EvaluateAll(faultline.Wrap(sc.NewMediator(), plan, nil))
+		if err != nil {
+			t.Fatalf("run %d: chaos run aborted: %v", run, err)
+		}
+		renders = append(renders, cards[0].Format()+benchmark.FormatChaos(cards))
+	}
+	if renders[0] != renders[1] {
+		t.Errorf("same-seed chaos runs diverged\n--- run 1 ---\n%s\n--- run 2 ---\n%s",
+			renders[0], renders[1])
+	}
+}
